@@ -1,0 +1,204 @@
+(* Bechamel performance benchmarks of the artifact itself (P1-P5 in
+   DESIGN.md): checker scaling, simulator throughput, implementation
+   commit rates and adversary games. *)
+
+open Bechamel
+open Toolkit
+open Slx_sim
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: histories and factories prepared outside the timed code.  *)
+
+let consensus_workload =
+  Driver.forever (fun p -> Slx_consensus.Consensus_type.Propose (p - 1))
+
+let register_history ~ops =
+  (* A register history with [ops] completed operations from a real
+     3-process run of a CAS-backed register. *)
+  let factory : (Test_support_register.invocation, Test_support_register.response) Runner.factory =
+    Test_support_register.factory
+  in
+  let r =
+    Runner.run ~n:3 ~factory
+      ~driver:
+        (Driver.random ~seed:7
+           ~workload:(Driver.n_times ops (fun p k -> Test_support_register.workload p k))
+           ())
+      ~max_steps:(ops * 8) ()
+  in
+  r.Run_report.history
+
+let tm_history ~steps =
+  let r =
+    Runner.run ~n:3 ~factory:(Slx_tm.I12.factory ~vars:2)
+      ~driver:(Slx_tm.Tm_workload.random ~seed:9 ())
+      ~max_steps:steps ()
+  in
+  r.Run_report.history
+
+(* P1: linearizability checker scaling. *)
+let lin_tests =
+  let module Lin = Slx_safety.Linearizability.Make (Test_support_register) in
+  List.map
+    (fun ops ->
+      let h = register_history ~ops in
+      Test.make
+        ~name:(Printf.sprintf "linearizability/%d-ops" ops)
+        (Staged.stage (fun () -> ignore (Lin.check h))))
+    [ 4; 8; 12 ]
+
+(* P2: opacity checker scaling. *)
+let opacity_tests =
+  List.map
+    (fun steps ->
+      let h = tm_history ~steps in
+      let txns = List.length (Slx_tm.Transaction.of_history h) in
+      Test.make
+        ~name:(Printf.sprintf "opacity/%d-txns" txns)
+        (Staged.stage (fun () -> ignore (Slx_tm.Opacity.check_final h))))
+    [ 60; 120; 240 ]
+
+(* P3: simulator throughput (steps/run of register consensus). *)
+let simulator_tests =
+  List.map
+    (fun steps ->
+      Test.make
+        ~name:(Printf.sprintf "simulator/consensus-%d-steps" steps)
+        (Staged.stage (fun () ->
+             ignore
+               (Runner.run ~n:3
+                  ~factory:(Slx_consensus.Register_consensus.factory ())
+                  ~driver:
+                    (Driver.random ~seed:3 ~workload:consensus_workload ())
+                  ~max_steps:steps ()))))
+    [ 200; 400 ]
+
+(* P4: I(1,2) commit throughput by process count. *)
+let i12_tests =
+  List.map
+    (fun n ->
+      Test.make
+        ~name:(Printf.sprintf "i12/run-n%d-300-steps" n)
+        (Staged.stage (fun () ->
+             ignore
+               (Runner.run ~n ~factory:(Slx_tm.I12.factory ~vars:2)
+                  ~driver:(Slx_tm.Tm_workload.random ~seed:5 ())
+                  ~max_steps:300 ()))))
+    [ 2; 3; 4 ]
+
+(* P4b: the snapshot-substitution overhead (atomic snapshot vs the
+   Afek-et-al. register construction). *)
+let snapshot_substitution_tests =
+  List.map
+    (fun (name, factory) ->
+      Test.make
+        ~name:(Printf.sprintf "i12-variant/%s-200-steps" name)
+        (Staged.stage (fun () ->
+             ignore
+               (Runner.run ~n:3 ~factory
+                  ~driver:(Slx_tm.Tm_workload.random ~seed:5 ())
+                  ~max_steps:200 ()))))
+    [
+      ("atomic-snapshot", Slx_tm.I12.factory ~vars:2);
+      ("register-snapshot", Slx_tm.I12_reg.factory ~vars:2);
+    ]
+
+(* P4c: universal-construction throughput over the two consensus
+   building blocks. *)
+let universal_tests =
+  let tp : _ Slx_history.Object_type.t = (module Test_support_register) in
+  let workload =
+    Driver.forever (fun p ->
+        if p = 1 then Test_support_register.Write p else Test_support_register.Read)
+  in
+  List.map
+    (fun (name, consensus) ->
+      Test.make
+        ~name:(Printf.sprintf "universal/%s-200-steps" name)
+        (Staged.stage (fun () ->
+             ignore
+               (Runner.run ~n:3
+                  ~factory:(Slx_objects.Universal.factory ~tp ~consensus ())
+                  ~driver:(Driver.random ~seed:7 ~workload ())
+                  ~max_steps:200 ()))))
+    [ ("cas-consensus", `Cas); ("register-consensus", `Registers) ]
+
+(* P4d: the exhaustive explorer. *)
+let explore_tests =
+  let one_proposal =
+    Slx_core.Explore.workload_invoke
+      (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
+  in
+  List.map
+    (fun depth ->
+      Test.make
+        ~name:(Printf.sprintf "explore/cas-consensus-depth-%d" depth)
+        (Staged.stage (fun () ->
+             ignore
+               (Slx_core.Explore.forall_schedules ~n:2
+                  ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+                  ~invoke:one_proposal ~depth
+                  ~check:(fun _ -> true)
+                  ()))))
+    [ 6; 8; 10 ]
+
+(* P4e: TM checker family on one fixed history. *)
+let checker_family_tests =
+  let h = tm_history ~steps:120 in
+  [
+    Test.make ~name:"checker/opacity-final"
+      (Staged.stage (fun () -> ignore (Slx_tm.Opacity.check_final h)));
+    Test.make ~name:"checker/strict-serializability"
+      (Staged.stage (fun () -> ignore (Slx_tm.Serializability.strict h)));
+    Test.make ~name:"checker/serializability"
+      (Staged.stage (fun () -> ignore (Slx_tm.Serializability.plain h)));
+    Test.make ~name:"checker/s-prime-rule"
+      (Staged.stage (fun () -> ignore (Slx_tm.S_prime.timestamp_rule h)));
+  ]
+
+(* P5: adversary games. *)
+let game_tests =
+  [
+    Test.make ~name:"game/lockstep-600-steps"
+      (Staged.stage (fun () ->
+           ignore
+             (Slx_consensus.Consensus_adversary.run_lockstep
+                ~factory:(Slx_consensus.Register_consensus.factory ())
+                ~max_steps:600)));
+    Test.make ~name:"game/tm-local-progress-400-steps"
+      (Staged.stage (fun () ->
+           ignore
+             (Slx_tm.Tm_adversary.run_local_progress
+                ~factory:(Slx_tm.I12.factory ~vars:1)
+                ~max_steps:400 ())));
+  ]
+
+let all_tests () =
+  Test.make_grouped ~name:"slx"
+    (lin_tests @ opacity_tests @ simulator_tests @ i12_tests
+    @ snapshot_substitution_tests @ universal_tests @ explore_tests
+    @ checker_family_tests @ game_tests)
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) () in
+  let raw = Benchmark.all cfg instances (all_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "\n== performance (ns per run, OLS on monotonic clock) ==\n";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-44s %14.0f ns\n" name est)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)

@@ -1,0 +1,39 @@
+(* A shared integer register as an object type + implementation, used
+   as the linearizability-checker workload in the perf benches. *)
+
+type state = int
+type invocation = Read | Write of int
+type response = Val of int | Ok
+
+let name = "register"
+let initial = 0
+
+let seq inv st =
+  match inv with Read -> [ (st, Val st) ] | Write v -> [ (v, Ok) ]
+
+let good (_ : response) = true
+let equal_state = Int.equal
+let equal_invocation (a : invocation) b = a = b
+let equal_response (a : response) b = a = b
+let pp_state = Format.pp_print_int
+
+let pp_invocation fmt = function
+  | Read -> Format.pp_print_string fmt "read"
+  | Write v -> Format.fprintf fmt "write(%d)" v
+
+let pp_response fmt = function
+  | Val v -> Format.fprintf fmt "val(%d)" v
+  | Ok -> Format.pp_print_string fmt "ok"
+
+(* Linearizable implementation backed by one atomic cell. *)
+let factory : n:int -> (invocation, response) Slx_sim.Runner.impl =
+ fun ~n:_ ->
+  let cell = Slx_base_objects.Register.make 0 in
+  fun ~proc:_ inv ->
+    match inv with
+    | Read -> Val (Slx_base_objects.Register.read cell)
+    | Write v ->
+        Slx_base_objects.Register.write cell v;
+        Ok
+
+let workload p k = if (p + k) mod 2 = 0 then Read else Write ((p * 10) + k)

@@ -1,0 +1,317 @@
+(* The slx command-line interface.
+
+   slx figure1 --object consensus|tm|s-prime [--procs N] [--steps N]
+       Regenerate a panel of Figure 1 (or the Section 5.3 grid).
+
+   slx game --impl register|cas --adversary lockstep|tie [--steps N]
+       Play a consensus exclusion game and report the verdict.
+
+   slx tm-game --impl i12|agp --adversary local-progress|three-way
+       Play a TM exclusion game.
+
+   slx theorems
+       Machine-check the Theorem 4.4 micro-universes and the Theorem
+       4.9 constructions.  *)
+
+open Cmdliner
+open Slx_liveness
+open Slx_core
+
+(* ------------------------------------------------------------------ *)
+(* figure1                                                             *)
+
+let figure1_cmd =
+  let object_arg =
+    let doc = "Which grid: consensus, tm, s-prime, or mutex." in
+    Arg.(value & opt string "consensus" & info [ "object"; "o" ] ~doc)
+  in
+  let procs_arg =
+    let doc = "System size n." in
+    Arg.(value & opt int 3 & info [ "procs"; "n" ] ~doc)
+  in
+  let steps_arg =
+    let doc = "Step budget per run." in
+    Arg.(value & opt int 900 & info [ "steps" ] ~doc)
+  in
+  let run obj n max_steps =
+    let grid =
+      match obj with
+      | "consensus" -> Ok (Figure1.consensus ~n ~max_steps ())
+      | "tm" -> Ok (Figure1.tm ~n ~max_steps ())
+      | "s-prime" -> Ok (Figure1.s_prime ~n ~max_steps ())
+      | "mutex" -> Ok (Figure1.mutex ~n ~max_steps ())
+      | other -> Error (Printf.sprintf "unknown object %S" other)
+    in
+    match grid with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok grid ->
+        print_string (Figure1.render grid);
+        let pp points =
+          String.concat ", " (List.map (Format.asprintf "%a" Freedom.pp) points)
+        in
+        Printf.printf "strongest not excluding: %s\n"
+          (pp (Figure1.strongest_not_excluded grid));
+        Printf.printf "weakest excluding:       %s\n"
+          (pp (Figure1.weakest_excluded grid));
+        0
+  in
+  Cmd.v
+    (Cmd.info "figure1" ~doc:"Regenerate a Figure 1 panel experimentally")
+    Term.(const run $ object_arg $ procs_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* game (consensus)                                                    *)
+
+let game_cmd =
+  let impl_arg =
+    let doc = "Implementation: register or cas." in
+    Arg.(value & opt string "register" & info [ "impl"; "i" ] ~doc)
+  in
+  let adversary_arg =
+    let doc = "Adversary: lockstep or tie." in
+    Arg.(value & opt string "lockstep" & info [ "adversary"; "a" ] ~doc)
+  in
+  let steps_arg =
+    Arg.(value & opt int 1000 & info [ "steps" ] ~doc:"Step budget.")
+  in
+  let run impl adversary steps =
+    let open Slx_consensus in
+    let factory =
+      match impl with
+      | "register" -> Ok (Register_consensus.factory ())
+      | "cas" -> Ok (Cas_consensus.factory ())
+      | other -> Error (Printf.sprintf "unknown implementation %S" other)
+    in
+    match factory with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok factory -> begin
+        match adversary with
+        | "lockstep" ->
+            let good (_ : Consensus_type.response) = true in
+            let v =
+              Exclusion.play ~n:2 ~factory
+                ~adversary:(Consensus_adversary.lockstep ())
+                ~safety:Consensus_safety.property
+                ~liveness:
+                  (Live_property.of_freedom ~good (Freedom.make ~l:1 ~k:2))
+                ~max_steps:steps
+            in
+            Printf.printf "fair=%b safe=%b liveness((1,2))=%b\n"
+              v.Exclusion.fair v.Exclusion.safety_holds
+              v.Exclusion.liveness_holds;
+            Printf.printf "%s\n"
+              (if Exclusion.adversary_wins v then
+                 "adversary wins: (1,2)-freedom excluded"
+               else "implementation survives");
+            0
+        | "tie" -> begin
+            match Consensus_adversary.tie_attack ~factory ~steps:60 () with
+            | Consensus_adversary.Defeated r ->
+                Printf.printf
+                  "adversary wins: %d fair steps, no decision, safety %b\n"
+                  r.Slx_sim.Run_report.total_time
+                  (Consensus_safety.check r.Slx_sim.Run_report.history);
+                0
+            | Consensus_adversary.Lost _ ->
+                Printf.printf "adversary loses: a decision was forced\n";
+                0
+          end
+        | other ->
+            Printf.eprintf "unknown adversary %S\n" other;
+            1
+      end
+  in
+  Cmd.v
+    (Cmd.info "game" ~doc:"Play a consensus exclusion game")
+    Term.(const run $ impl_arg $ adversary_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tm-game                                                             *)
+
+let tm_game_cmd =
+  let impl_arg =
+    let doc = "Implementation: i12 or agp." in
+    Arg.(value & opt string "i12" & info [ "impl"; "i" ] ~doc)
+  in
+  let adversary_arg =
+    let doc = "Adversary: local-progress or three-way." in
+    Arg.(value & opt string "local-progress" & info [ "adversary"; "a" ] ~doc)
+  in
+  let steps_arg =
+    Arg.(value & opt int 800 & info [ "steps" ] ~doc:"Step budget.")
+  in
+  let run impl adversary steps =
+    let open Slx_tm in
+    let factory =
+      match impl with
+      | "i12" -> Ok (I12.factory ~vars:2)
+      | "agp" -> Ok (Agp_tm.factory ~vars:2)
+      | other -> Error (Printf.sprintf "unknown implementation %S" other)
+    in
+    match factory with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok factory ->
+        let report =
+          match adversary with
+          | "local-progress" ->
+              Ok (Tm_adversary.run_local_progress ~factory ~max_steps:steps ())
+          | "three-way" ->
+              Ok (Tm_adversary.run_three_way ~factory ~max_steps:steps)
+          | other -> Error (Printf.sprintf "unknown adversary %S" other)
+        in
+        begin
+          match report with
+          | Error e ->
+              prerr_endline e;
+              1
+          | Ok r ->
+              List.iter
+                (fun (p, c) -> Printf.printf "p%d: %d commits\n" p c)
+                (Tm_adversary.commits r.Slx_sim.Run_report.history);
+              Printf.printf "final-state opacity: %b   S': %b\n"
+                (Opacity.check_final r.Slx_sim.Run_report.history)
+                (S_prime.check_final r.Slx_sim.Run_report.history);
+              List.iter
+                (fun (l, k) ->
+                  let f = Freedom.make ~l ~k in
+                  Printf.printf "%s: %b\n"
+                    (Format.asprintf "%a" Freedom.pp f)
+                    (Freedom.holds ~good:Tm_type.good r f))
+                [ (1, 2); (2, 2); (1, 3) ];
+              0
+        end
+  in
+  Cmd.v
+    (Cmd.info "tm-game" ~doc:"Play a TM exclusion game")
+    Term.(const run $ impl_arg $ adversary_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* theorems                                                            *)
+
+let theorems_cmd =
+  let run () =
+    let pos = Theorem_4_4.positive () and neg = Theorem_4_4.negative () in
+    Printf.printf "Theorem 4.4 (positive): |Gmax|=%d, weakest exists: %b\n"
+      (List.length (Theorem_4_4.gmax pos))
+      (Theorem_4_4.weakest_excluding_exists pos);
+    Printf.printf "Theorem 4.4 (negative): |Gmax|=%d, weakest exists: %b\n"
+      (List.length (Theorem_4_4.gmax neg))
+      (Theorem_4_4.weakest_excluding_exists neg);
+    let r = Theorem_4_9.run ~depth:5 in
+    Printf.printf "Theorem 4.9: It/Ib ensure S: %b, incomparable: %b -> %s\n"
+      r.Theorem_4_9.both_ensure_s r.Theorem_4_9.incomparable
+      (if Theorem_4_9.holds r then "no strongest liveness below Lmax"
+       else "CHECK FAILED");
+    if Theorem_4_9.holds r then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "theorems" ~doc:"Machine-check the Theorem 4.4/4.9 constructions")
+    Term.(const run $ const ())
+
+
+(* ------------------------------------------------------------------ *)
+(* mutex                                                               *)
+
+let mutex_cmd =
+  let impl_arg =
+    let doc = "Lock: tas, bakery, or peterson." in
+    Arg.(value & opt string "tas" & info [ "impl"; "i" ] ~doc)
+  in
+  let steps_arg =
+    Arg.(value & opt int 800 & info [ "steps" ] ~doc:"Step budget.")
+  in
+  let run impl steps =
+    let open Slx_objects in
+    let factory =
+      match impl with
+      | "tas" -> Ok (Mutex.tas_factory ())
+      | "bakery" -> Ok (Bakery.factory ())
+      | "peterson" -> Ok (Peterson.factory ())
+      | other -> Error (Printf.sprintf "unknown lock %S" other)
+    in
+    match factory with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok factory ->
+        let r = Mutex.run_starvation ~factory ~max_steps:steps in
+        List.iter
+          (fun (p, c) -> Printf.printf "p%d acquired %d times\n" p c)
+          (Mutex.acquisitions r.Slx_sim.Run_report.history);
+        Printf.printf "mutual exclusion: %b   fair: %b\n"
+          (Mutex.mutual_exclusion r.Slx_sim.Run_report.history)
+          (Slx_liveness.Fairness.is_bounded_fair r);
+        Printf.printf "starvation-freedom: %b\n"
+          (Freedom.holds ~good:Mutex.good r (Freedom.wait_freedom ~n:2));
+        0
+  in
+  Cmd.v
+    (Cmd.info "mutex" ~doc:"Run a lock against the starvation scheduler")
+    Term.(const run $ impl_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+
+let explore_cmd =
+  let impl_arg =
+    let doc = "Implementation: cas, register, or selfish (consensus)." in
+    Arg.(value & opt string "cas" & info [ "impl"; "i" ] ~doc)
+  in
+  let depth_arg =
+    Arg.(value & opt int 10 & info [ "depth" ] ~doc:"Schedule-tree depth.")
+  in
+  let crashes_arg =
+    Arg.(value & opt int 0 & info [ "crashes" ] ~doc:"Max crash branches.")
+  in
+  let run impl depth max_crashes =
+    let open Slx_consensus in
+    let factory =
+      match impl with
+      | "cas" -> Ok (fun () -> Cas_consensus.factory ())
+      | "register" -> Ok (fun () -> Register_consensus.factory ())
+      | "selfish" -> Ok (fun () -> Selfish_consensus.factory ())
+      | other -> Error (Printf.sprintf "unknown implementation %S" other)
+    in
+    match factory with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok factory -> begin
+        let invoke =
+          Explore.workload_invoke
+            (Slx_sim.Driver.n_times 1 (fun p _ ->
+                 Consensus_type.Propose (p - 1)))
+        in
+        match
+          Explore.forall_schedules ~n:2 ~factory ~invoke ~depth ~max_crashes
+            ~check:(fun r ->
+              Consensus_safety.check r.Slx_sim.Run_report.history)
+            ()
+        with
+        | Explore.Ok runs ->
+            Printf.printf "safe on all %d bounded schedules\n" runs;
+            0
+        | Explore.Counterexample r ->
+            Format.printf "counterexample: %a@." Consensus_type.pp_history
+              r.Slx_sim.Run_report.history;
+            0
+      end
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively check consensus safety on every bounded schedule")
+    Term.(const run $ impl_arg $ depth_arg $ crashes_arg)
+
+let () =
+  let info =
+    Cmd.info "slx" ~version:"1.0.0"
+      ~doc:"Safety-liveness exclusion in distributed computing (PODC 2015)"
+  in
+  exit (Cmd.eval' (Cmd.group info
+       [ figure1_cmd; game_cmd; tm_game_cmd; theorems_cmd; mutex_cmd; explore_cmd ]))

@@ -1,0 +1,94 @@
+(* End-to-end tour of the public API with a user-defined object type:
+   a bounded counter (increments fail above a cap).
+
+   Shows how to: define an Object_type, implement it over base
+   objects, drive it with schedulers, check linearizability, and
+   evaluate (l,k)-freedom.
+
+   Run with:  dune exec examples/custom_object.exe *)
+
+open Slx_history
+open Slx_sim
+open Slx_base_objects
+open Slx_liveness
+
+(* 1. The object type: a counter bounded by [cap]. *)
+module Bounded_counter = struct
+  type state = int
+  type invocation = Increment | Get
+  type response = New_value of int | Full | Value of int
+
+  let name = "bounded-counter"
+  let cap = 5
+  let initial = 0
+
+  let seq inv st =
+    match inv with
+    | Increment -> if st < cap then [ (st + 1, New_value (st + 1)) ] else [ (st, Full) ]
+    | Get -> [ (st, Value st) ]
+
+  let good = function
+    | New_value _ | Value _ -> true
+    | Full -> false (* hitting the cap is not progress *)
+
+  let equal_state = Int.equal
+  let equal_invocation (a : invocation) b = a = b
+  let equal_response (a : response) b = a = b
+  let pp_state = Format.pp_print_int
+
+  let pp_invocation fmt = function
+    | Increment -> Format.pp_print_string fmt "inc"
+    | Get -> Format.pp_print_string fmt "get"
+
+  let pp_response fmt = function
+    | New_value v -> Format.fprintf fmt "new(%d)" v
+    | Full -> Format.pp_print_string fmt "full"
+    | Value v -> Format.fprintf fmt "val(%d)" v
+end
+
+(* 2. A lock-free implementation from compare-and-swap. *)
+let factory () : (Bounded_counter.invocation, Bounded_counter.response) Runner.factory =
+ fun ~n:_ ->
+  let cell = Cas.make 0 in
+  fun ~proc:_ inv ->
+    match inv with
+    | Bounded_counter.Get -> Bounded_counter.Value (Cas.read cell)
+    | Bounded_counter.Increment ->
+        let rec attempt () =
+          let v = Cas.read cell in
+          if v >= Bounded_counter.cap then Bounded_counter.Full
+          else if Cas.compare_and_swap cell ~expected:v ~desired:(v + 1) then
+            Bounded_counter.New_value (v + 1)
+          else attempt ()
+        in
+        attempt ()
+
+(* 3. The linearizability checker, instantiated for free. *)
+module Lin = Slx_safety.Linearizability.Make (Bounded_counter)
+
+let () =
+  let workload =
+    Driver.forever (fun p -> if p = 1 then Bounded_counter.Increment else Bounded_counter.Get)
+  in
+  let r =
+    Runner.run ~n:3 ~factory:(factory ())
+      ~driver:(Driver.random ~seed:11 ~workload ())
+      ~max_steps:120 ()
+  in
+  Format.printf "history: %a@."
+    (History.pp ~pp_inv:Bounded_counter.pp_invocation
+       ~pp_res:Bounded_counter.pp_response)
+    (History.prefix r.Run_report.history
+       (min 14 (History.length r.Run_report.history)));
+  Format.printf "linearizable: %b@." (Lin.check r.Run_report.history);
+  Format.printf "bounded-fair: %b@." (Fairness.is_bounded_fair r);
+  List.iter
+    (fun (l, k) ->
+      let f = Freedom.make ~l ~k in
+      Format.printf "%a: %b@." Freedom.pp f
+        (Freedom.holds ~good:Bounded_counter.good r f))
+    [ (1, 3); (3, 3) ];
+  Format.printf
+    "Once the counter is full, increments return Full - responses that@.";
+  Format.printf
+    "are not 'good': like TM aborts, they do not count as progress.@."

@@ -1,0 +1,46 @@
+(* Locks have the same trade-off: Section 3.2 of the paper names
+   starvation-freedom as the strongest liveness requirement (Lmax) for
+   lock-based implementations.  The test-and-set spin lock keeps its
+   safety property (mutual exclusion) under every schedule, but a
+   scheduler that grants the loser's attempts only while the lock is
+   held starves it forever.
+
+   Run with:  dune exec examples/mutex_starvation.exe *)
+
+open Slx_sim
+open Slx_liveness
+open Slx_objects
+
+let describe name r =
+  Format.printf "@.== %s ==@." name;
+  List.iter
+    (fun (p, c) -> Format.printf "p%d acquired the lock %d times@." p c)
+    (Mutex.acquisitions r.Run_report.history);
+  Format.printf "mutual exclusion: %b   bounded-fair: %b@."
+    (Mutex.mutual_exclusion r.Run_report.history)
+    (Fairness.is_bounded_fair r);
+  List.iter
+    (fun (l, k) ->
+      let f = Freedom.make ~l ~k in
+      Format.printf "%a: %b@." Freedom.pp f (Freedom.holds ~good:Mutex.good r f))
+    [ (1, 2); (2, 2) ]
+
+let () =
+  (* 1. A fair random scheduler: both processes keep acquiring. *)
+  let fair =
+    Runner.run ~n:2 ~factory:(Mutex.tas_factory ())
+      ~driver:(Mutex.random_workload ~seed:3 ())
+      ~max_steps:400 ()
+  in
+  describe "TAS lock, fair random scheduler" fair;
+
+  (* 2. The starvation scheduler: p1's acquire attempts are granted
+     only while p2 holds the lock — they all fail, forever. *)
+  let starved = Mutex.run_starvation ~factory:(Mutex.tas_factory ()) ~max_steps:800 in
+  describe "TAS lock, starvation scheduler" starved;
+
+  Format.printf
+    "@.The starved run is fair and safe but violates (2,2)-freedom:@.";
+  Format.printf
+    "starvation-freedom (the lock Lmax) excludes nothing less than a@.";
+  Format.printf "stronger lock - the mutex face of safety-liveness exclusion.@."

@@ -1,0 +1,76 @@
+(* The universal construction: build ANY deterministic shared object
+   from consensus, and watch the paper's consensus trade-off propagate
+   to it.
+
+   Run with:  dune exec examples/universal_objects.exe *)
+
+open Slx_history
+open Slx_sim
+open Slx_liveness
+open Slx_objects
+
+module Stack_lin = Slx_safety.Linearizability.Make (Stack_type.Self)
+
+let stack_tp : _ Object_type.t = (module Stack_type.Self)
+
+let stack_workload =
+  Driver.n_times 3 (fun p k ->
+      if k mod 2 = 0 then Stack_type.Push ((10 * p) + k) else Stack_type.Pop)
+
+let () =
+  (* 1. A wait-free-log stack from CAS consensus: linearizable under
+     any schedule. *)
+  let r =
+    Runner.run ~n:3
+      ~factory:(Universal.factory ~tp:stack_tp ~consensus:`Cas ())
+      ~driver:(Driver.random ~seed:21 ~workload:stack_workload ())
+      ~max_steps:400 ()
+  in
+  Format.printf "== universal stack over CAS consensus ==@.";
+  Format.printf "history: %a@."
+    (History.pp ~pp_inv:Stack_type.pp_invocation ~pp_res:Stack_type.pp_response)
+    (History.prefix r.Run_report.history
+       (min 12 (History.length r.Run_report.history)));
+  Format.printf "linearizable: %b   all ops complete: %b@."
+    (Stack_lin.check r.Run_report.history)
+    (History.pending_procs r.Run_report.history = Proc.Set.empty);
+
+  (* 2. The same stack over register consensus: a solo process is
+     fine... *)
+  let solo =
+    Runner.run ~n:2
+      ~factory:(Universal.factory ~tp:stack_tp ~consensus:`Registers ())
+      ~driver:
+        (Driver.with_crashes [ (0, 2) ] (Driver.solo 1 ~workload:stack_workload))
+      ~max_steps:600 ()
+  in
+  Format.printf "@.== universal stack over register consensus, solo ==@.";
+  Format.printf "responses: %d   linearizable: %b@."
+    (List.length (History.responses_of solo.Run_report.history 1))
+    (Stack_lin.check solo.Run_report.history);
+
+  (* 3. ... but lockstep ties the log's first slot forever: the FLP/CIL
+     impossibility reaches every object built from registers. *)
+  let lockstep : (Stack_type.invocation, Stack_type.response) Driver.t =
+   fun view ->
+    let next = if view.Driver.steps 1 <= view.Driver.steps 2 then 1 else 2 in
+    match view.Driver.status next with
+    | Runtime.Ready -> Driver.Schedule next
+    | Runtime.Idle -> Driver.Invoke (next, Stack_type.Push next)
+    | Runtime.Crashed -> Driver.Stop
+  in
+  let tied =
+    Runner.run ~n:2
+      ~factory:(Universal.factory ~tp:stack_tp ~consensus:`Registers ())
+      ~driver:lockstep ~max_steps:1500 ()
+  in
+  Format.printf "@.== universal stack over register consensus, lockstep ==@.";
+  Format.printf "responses after %d fair steps: %d   (1,2)-freedom: %b@."
+    tied.Run_report.total_time
+    (History.count Event.is_response tied.Run_report.history)
+    (Freedom.holds
+       ~good:(fun (_ : Stack_type.response) -> true)
+       tied (Freedom.make ~l:1 ~k:2));
+  Format.printf
+    "@.Two pushers, forever tied: no wait-free universal objects from@.";
+  Format.printf "registers - Corollary 4.10 visiting a stack.@."

@@ -1,0 +1,16 @@
+type t = string
+
+let invocation ~proc name = Printf.sprintf "%s_%d" name proc
+let response ~proc name = Printf.sprintf "%s_%d" name proc
+let crash p = Printf.sprintf "crash_%d" p
+
+let is_crash a = String.length a > 6 && String.sub a 0 6 = "crash_"
+
+let proc_of a =
+  match String.rindex_opt a '_' with
+  | None -> None
+  | Some i -> int_of_string_opt (String.sub a (i + 1) (String.length a - i - 1))
+
+module Set = Set.Make (String)
+
+let pp = Format.pp_print_string

@@ -1,0 +1,27 @@
+(** Actions of explicit I/O automata.
+
+    Actions are identified by name; composition synchronizes actions
+    with equal names (Section 2).  The helpers build the naming
+    convention of the paper's external actions: [inv_i], [res_i],
+    [crash_i]. *)
+
+type t = string
+
+val invocation : proc:Slx_history.Proc.t -> string -> t
+(** [invocation ~proc "propose(0)"] is ["propose(0)_1"] for [proc = 1]. *)
+
+val response : proc:Slx_history.Proc.t -> string -> t
+(** [response ~proc "0"] is ["0_1"]. *)
+
+val crash : Slx_history.Proc.t -> t
+(** [crash 2] is ["crash_2"]. *)
+
+val is_crash : t -> bool
+(** Whether the action is a crash action (by its name). *)
+
+val proc_of : t -> Slx_history.Proc.t option
+(** The process suffix of an action name, if it has one. *)
+
+module Set : Set.S with type elt = t
+
+val pp : Format.formatter -> t -> unit

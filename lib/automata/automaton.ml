@@ -1,0 +1,172 @@
+type t = {
+  name : string;
+  inputs : Action.Set.t;
+  outputs : Action.Set.t;
+  internals : Action.Set.t;
+  init : State.t list;
+  delta : State.t -> (Action.t * State.t) list;
+}
+
+let make ~name ~inputs ~outputs ~internals ~init ~delta =
+  let inputs = Action.Set.of_list inputs in
+  let outputs = Action.Set.of_list outputs in
+  let internals = Action.Set.of_list internals in
+  let overlap a b = not (Action.Set.is_empty (Action.Set.inter a b)) in
+  if overlap inputs outputs || overlap inputs internals
+     || overlap outputs internals
+  then invalid_arg "Automaton.make: action classes must be disjoint";
+  { name; inputs; outputs; internals; init; delta }
+
+let name a = a.name
+let inputs a = a.inputs
+let outputs a = a.outputs
+let internals a = a.internals
+
+let actions a =
+  Action.Set.union a.inputs (Action.Set.union a.outputs a.internals)
+
+let external_actions a = Action.Set.union a.inputs a.outputs
+
+let init a = a.init
+let delta a s = a.delta s
+
+let step a s act =
+  List.filter_map
+    (fun (act', s') -> if String.equal act act' then Some s' else None)
+    (a.delta s)
+
+let enabled a s act = step a s act <> []
+
+let compatible a1 a2 =
+  Action.Set.is_empty (Action.Set.inter a1.outputs a2.outputs)
+  && Action.Set.is_empty (Action.Set.inter a1.internals (actions a2))
+  && Action.Set.is_empty (Action.Set.inter a2.internals (actions a1))
+
+let compose a1 a2 =
+  if not (compatible a1 a2) then
+    invalid_arg
+      (Printf.sprintf "Automaton.compose: %s and %s are incompatible" a1.name
+         a2.name);
+  let acts1 = actions a1 and acts2 = actions a2 in
+  (* The paper's simplified hiding: matched input/output pairs become
+     internal actions of the composition. *)
+  let hidden =
+    Action.Set.union
+      (Action.Set.inter a1.inputs a2.outputs)
+      (Action.Set.inter a2.inputs a1.outputs)
+  in
+  let internals =
+    Action.Set.union a1.internals (Action.Set.union a2.internals hidden)
+  in
+  let inputs =
+    Action.Set.diff (Action.Set.union a1.inputs a2.inputs) internals
+  in
+  let outputs =
+    Action.Set.diff (Action.Set.union a1.outputs a2.outputs) internals
+  in
+  let init =
+    List.concat_map
+      (fun s1 -> List.map (fun s2 -> State.pair s1 s2) a2.init)
+      a1.init
+  in
+  let delta s =
+    match s with
+    | State.Pair (s1, s2) ->
+        let d1 = a1.delta s1 and d2 = a2.delta s2 in
+        let shared (act, s1') =
+          if Action.Set.mem act acts2 then
+            (* Synchronize: both components must step. *)
+            List.filter_map
+              (fun (act2, s2') ->
+                if String.equal act act2 then
+                  Some (act, State.pair s1' s2')
+                else None)
+              d2
+          else [ (act, State.pair s1' s2) ]
+        in
+        let only2 (act, s2') =
+          if Action.Set.mem act acts1 then
+            (* Already covered by the synchronized case above. *)
+            []
+          else [ (act, State.pair s1 s2') ]
+        in
+        List.concat_map shared d1 @ List.concat_map only2 d2
+    | State.Leaf _ -> invalid_arg "Automaton.compose: non-product state"
+  in
+  {
+    name = a1.name ^ " x " ^ a2.name;
+    inputs;
+    outputs;
+    internals;
+    init;
+    delta;
+  }
+
+let compose_all = function
+  | [] -> invalid_arg "Automaton.compose_all: empty list"
+  | a :: rest -> List.fold_left compose a rest
+
+type execution = { states : State.t list; actions : Action.t list }
+
+let final_state e =
+  match List.rev e.states with
+  | s :: _ -> s
+  | [] -> invalid_arg "Automaton.final_state: empty execution"
+
+let executions a ~depth =
+  (* Breadth-first unfolding keeping whole executions.  Exponential; for
+     small demonstration automata only. *)
+  let extend e =
+    let s = final_state e in
+    List.map
+      (fun (act, s') ->
+        { states = e.states @ [ s' ]; actions = e.actions @ [ act ] })
+      (a.delta s)
+  in
+  let rec go d frontier acc =
+    if d = 0 then acc
+    else
+      let next = List.concat_map extend frontier in
+      go (d - 1) next (acc @ next)
+  in
+  let initial = List.map (fun s -> { states = [ s ]; actions = [] }) a.init in
+  go depth initial initial
+
+let trace a e =
+  let ext = external_actions a in
+  List.filter (fun act -> Action.Set.mem act ext) e.actions
+
+let traces a ~depth =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun e ->
+      let tr = trace a e in
+      let key = String.concat "\x00" tr in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        Some tr
+      end)
+    (executions a ~depth)
+
+let reachable a ~depth =
+  let rec go d frontier visited =
+    if d = 0 || State.Set.is_empty frontier then visited
+    else
+      let next =
+        State.Set.fold
+          (fun s acc ->
+            List.fold_left
+              (fun acc (_, s') ->
+                if State.Set.mem s' visited then acc else State.Set.add s' acc)
+              acc (a.delta s))
+          frontier State.Set.empty
+      in
+      go (d - 1) next (State.Set.union visited next)
+  in
+  let initial = State.Set.of_list a.init in
+  go depth initial initial
+
+let is_fair_finite a e =
+  let s = final_state e in
+  List.for_all (fun (act, _) -> Action.is_crash act) (a.delta s)

@@ -1,0 +1,82 @@
+(** Explicit I/O automata with the paper's composition.
+
+    An I/O automaton is a 4-tuple [(states, sig, init, trans)] where
+    the signature partitions actions into input, output and internal
+    actions (Section 2).  This module represents the transition
+    relation functionally ([delta]), which supports both finite
+    enumeration (for the theorem demonstrations) and infinite-state
+    automata (never enumerated beyond a depth bound).
+
+    The composition implements the paper's simplified hiding rule:
+    matched input/output pairs become internal actions. *)
+
+type t
+
+val make :
+  name:string ->
+  inputs:Action.t list ->
+  outputs:Action.t list ->
+  internals:Action.t list ->
+  init:State.t list ->
+  delta:(State.t -> (Action.t * State.t) list) ->
+  t
+(** [delta s] lists every enabled [(action, successor)] pair at [s].
+    Actions returned by [delta] must belong to the signature.
+    @raise Invalid_argument if the three action classes overlap. *)
+
+val name : t -> string
+val inputs : t -> Action.Set.t
+val outputs : t -> Action.Set.t
+val internals : t -> Action.Set.t
+
+val actions : t -> Action.Set.t
+(** [acts(A)]: the union of the three classes. *)
+
+val external_actions : t -> Action.Set.t
+(** Input and output actions: those visible in histories. *)
+
+val init : t -> State.t list
+val delta : t -> State.t -> (Action.t * State.t) list
+
+val enabled : t -> State.t -> Action.t -> bool
+(** Whether an action is enabled at a state. *)
+
+val step : t -> State.t -> Action.t -> State.t list
+(** Successors of a state under an action (empty if not enabled). *)
+
+val compatible : t -> t -> bool
+(** The paper's compatibility: disjoint outputs, and internals of each
+    disjoint from all actions of the other. *)
+
+val compose : t -> t -> t
+(** The composition [A1 x A2].  Matched input/output pairs are hidden
+    (become internal), per the paper's footnote.
+    @raise Invalid_argument if the automata are incompatible. *)
+
+val compose_all : t list -> t
+(** Left fold of {!compose}.  @raise Invalid_argument on [[]]. *)
+
+(** {1 Bounded exploration} *)
+
+type execution = { states : State.t list; actions : Action.t list }
+(** An alternating sequence [s0 a1 s1 ... ak sk]: [states] has exactly
+    one more element than [actions]. *)
+
+val executions : t -> depth:int -> execution list
+(** All executions with at most [depth] actions, from every initial
+    state.  Exponential; for small demonstration automata only. *)
+
+val trace : t -> execution -> Action.t list
+(** The history of an execution: its external actions, in order. *)
+
+val traces : t -> depth:int -> Action.t list list
+(** All distinct histories of executions up to [depth] actions. *)
+
+val reachable : t -> depth:int -> State.Set.t
+(** States reachable within [depth] actions. *)
+
+val is_fair_finite : t -> execution -> bool
+(** The paper's fairness for finite executions: no action other than a
+    crash action is enabled in the final state. *)
+
+val final_state : execution -> State.t

@@ -1,0 +1,29 @@
+type t = Leaf of string | Pair of t * t
+
+let leaf s = Leaf s
+let pair a b = Pair (a, b)
+
+let rec equal a b =
+  match a, b with
+  | Leaf x, Leaf y -> String.equal x y
+  | Pair (a1, a2), Pair (b1, b2) -> equal a1 b1 && equal a2 b2
+  | (Leaf _ | Pair _), _ -> false
+
+let rec compare a b =
+  match a, b with
+  | Leaf x, Leaf y -> String.compare x y
+  | Leaf _, Pair _ -> -1
+  | Pair _, Leaf _ -> 1
+  | Pair (a1, a2), Pair (b1, b2) ->
+      let c = compare a1 b1 in
+      if c <> 0 then c else compare a2 b2
+
+let rec pp fmt = function
+  | Leaf s -> Format.pp_print_string fmt s
+  | Pair (a, b) -> Format.fprintf fmt "(%a, %a)" pp a pp b
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,21 @@
+(** States of explicit I/O automata.
+
+    Composition (Section 2 of the paper) forms product states, so the
+    state type is a binary tree whose leaves are named local states. *)
+
+type t =
+  | Leaf of string       (** A named local state. *)
+  | Pair of t * t        (** A product state of a composition. *)
+
+val leaf : string -> t
+
+val pair : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints leaves verbatim and products as ["(s, t)"]. *)
+
+module Set : Set.S with type elt = t

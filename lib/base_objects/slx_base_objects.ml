@@ -1,0 +1,86 @@
+let atomic = Slx_sim.Runtime.atomic
+
+module Register = struct
+  type 'a t = 'a ref
+
+  let make v = ref v
+  let read r = atomic (fun () -> !r)
+  let write r v = atomic (fun () -> r := v)
+end
+
+module Cas = struct
+  type 'a t = 'a ref
+
+  let make v = ref v
+  let read r = atomic (fun () -> !r)
+
+  let compare_and_swap r ~expected ~desired =
+    atomic (fun () ->
+        if !r = expected then begin
+          r := desired;
+          true
+        end
+        else false)
+end
+
+module Test_and_set = struct
+  type t = bool ref
+
+  let make () = ref false
+
+  let test_and_set r =
+    atomic (fun () ->
+        if !r then false
+        else begin
+          r := true;
+          true
+        end)
+
+  let reset r = atomic (fun () -> r := false)
+
+  let read r = atomic (fun () -> !r)
+end
+
+module Fetch_and_add = struct
+  type t = int ref
+
+  let make v = ref v
+
+  let fetch_and_add r d =
+    atomic (fun () ->
+        let old = !r in
+        r := old + d;
+        old)
+
+  let read r = atomic (fun () -> !r)
+end
+
+module Queue = struct
+  type 'a t = 'a list ref  (* front of the queue first *)
+
+  let make items = ref items
+
+  let enqueue q v = atomic (fun () -> q := !q @ [ v ])
+
+  let dequeue q =
+    atomic (fun () ->
+        match !q with
+        | [] -> None
+        | x :: rest ->
+            q := rest;
+            Some x)
+end
+
+module Snapshot = struct
+  type 'a t = 'a array
+
+  let make ~n init =
+    if n < 1 then invalid_arg "Snapshot.make: n must be positive";
+    Array.make n init
+
+  let update s p v =
+    if p < 1 || p > Array.length s then invalid_arg "Snapshot.update";
+    atomic (fun () -> s.(p - 1) <- v)
+
+  let scan s = atomic (fun () -> Array.copy s)
+end

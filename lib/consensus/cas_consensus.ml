@@ -1,0 +1,10 @@
+open Slx_base_objects
+
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n:_ ->
+  let cell = Cas.make None in
+  fun ~proc:_ (Consensus_type.Propose v) ->
+    let _won = Cas.compare_and_swap cell ~expected:None ~desired:(Some v) in
+    match Cas.read cell with
+    | Some w -> Consensus_type.Decided w
+    | None -> assert false

@@ -1,0 +1,12 @@
+(** Wait-free consensus from compare-and-swap.
+
+    The foil showing that the paper's consensus corollaries are about
+    the {e base-object restriction}: with a single compare-and-swap
+    object (consensus number ∞, Herlihy 1991) wait-freedom — the
+    consensus [Lmax] — is implementable together with agreement and
+    validity.  Every [propose] is two atomic steps: one CAS attempt and
+    one read. *)
+
+val factory :
+  unit ->
+  (Consensus_type.invocation, Consensus_type.response) Slx_sim.Runner.factory

@@ -1,0 +1,42 @@
+open Slx_history
+
+type history = (Consensus_type.invocation, Consensus_type.response) History.t
+
+let propose p v = Event.Invocation (p, Consensus_type.Propose v)
+let decide p v = Event.Response (p, Consensus_type.Decided v)
+
+let f1 ~v ~v' =
+  if v = v' then invalid_arg "Consensus_adversary_sets.f1: v = v'";
+  List.map History.of_list
+    [
+      [ propose 1 v; propose 2 v' ];
+      [ propose 1 v; decide 1 v; propose 2 v' ];
+      [ propose 1 v; propose 2 v'; decide 1 v ];
+      [ propose 1 v; propose 2 v'; decide 1 v' ];
+      [ propose 1 v; propose 2 v'; decide 2 v ];
+      [ propose 1 v; propose 2 v'; decide 2 v' ];
+    ]
+
+let swap12 p = if p = 1 then 2 else if p = 2 then 1 else p
+
+let f2 ~v ~v' = List.map (History.rename swap12) (f1 ~v ~v')
+
+let equal_history =
+  History.equal ~inv:Consensus_type.equal_invocation
+    ~res:Consensus_type.equal_response
+
+let disjoint fa fb =
+  not (List.exists (fun h -> List.exists (equal_history h) fb) fa)
+
+let all_safe f = List.for_all Consensus_safety.check f
+
+let all_incomplete f =
+  let undecided h =
+    Proc.Set.exists
+      (fun p ->
+        History.is_correct h p
+        && History.invocations_of h p <> []
+        && History.responses_of h p = [])
+      (History.procs h)
+  in
+  List.for_all undecided f

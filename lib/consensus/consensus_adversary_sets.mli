@@ -1,0 +1,47 @@
+(** The disjoint adversary sets of Corollary 4.5.
+
+    Section 4.1 exhibits, for consensus from registers, two adversary
+    sets w.r.t. wait-freedom and agreement-and-validity:
+
+    [F1] — the six histories in which [p1] proposes [v] first, [p2]
+    proposes [v' ≠ v], and at least one of them never decides:
+    {v content: [propose_1(v) . propose_2(v')],
+     [propose_1(v) . v_1 . propose_2(v')],
+     [propose_1(v) . propose_2(v') . v_1],
+     [propose_1(v) . propose_2(v') . v'_1],
+     [propose_1(v) . propose_2(v') . v_2],
+     [propose_1(v) . propose_2(v') . v'_2]. v}
+
+    [F2] — the same with the roles of [p1] and [p2] exchanged.
+
+    Every history of [F1] begins with an invocation by [p1] and every
+    history of [F2] with one by [p2], so [F1 ∩ F2 = ∅] and hence
+    [Gmax = ∅]: by Theorem 4.4 there is no weakest liveness property
+    excluding agreement and validity (Corollary 4.5).  This module
+    provides the sets as concrete history lists so the disjointness —
+    and the membership of each history in the safety property — can be
+    machine-checked and reported by the benches. *)
+
+open Slx_history
+
+type history = (Consensus_type.invocation, Consensus_type.response) History.t
+
+val f1 : v:int -> v':int -> history list
+(** The six histories of [F1].  @raise Invalid_argument if [v = v']. *)
+
+val f2 : v:int -> v':int -> history list
+(** [F2 = F1] with processes 1 and 2 exchanged. *)
+
+val equal_history : history -> history -> bool
+
+val disjoint : history list -> history list -> bool
+(** No common history. *)
+
+val all_safe : history list -> bool
+(** Every history of the set satisfies agreement and validity —
+    condition (1) of Definition 4.3, [F ⊆ S]. *)
+
+val all_incomplete : history list -> bool
+(** In every history of the set, some correct process that has invoked
+    never decides — the finite witness of condition (2) of Definition
+    4.3, [F ⊆ complement of Lmax] (wait-freedom). *)

@@ -1,0 +1,37 @@
+open Slx_history
+
+type history = (Consensus_type.invocation, Consensus_type.response) History.t
+
+let decided_values h =
+  List.filter_map
+    (fun e ->
+      match Event.response e with
+      | Some (Consensus_type.Decided v) -> Some v
+      | None -> None)
+    (History.to_list h)
+
+let agreement h =
+  match decided_values h with
+  | [] -> true
+  | v :: rest -> List.for_all (Int.equal v) rest
+
+let validity h =
+  (* Scan chronologically, remembering the proposals seen so far; every
+     decision must be among them. *)
+  let rec go proposed = function
+    | [] -> true
+    | Event.Invocation (_, Consensus_type.Propose v) :: rest ->
+        go (v :: proposed) rest
+    | Event.Response (_, Consensus_type.Decided v) :: rest ->
+        List.mem v proposed && go proposed rest
+    | Event.Crash _ :: rest -> go proposed rest
+  in
+  go [] (History.to_list h)
+
+let check h = History.is_well_formed h && agreement h && validity h
+
+let property = Slx_safety.Property.make ~name:"agreement-and-validity" check
+
+module Lin = Slx_safety.Linearizability.Make (Consensus_type.Self)
+
+let linearizability = Lin.property

@@ -1,0 +1,26 @@
+open Slx_base_objects
+
+type token = Token
+
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n ->
+  let queue = Queue.make [ Token ] in
+  let proposals = Array.init (n + 1) (fun _ -> Register.make None) in
+  fun ~proc (Consensus_type.Propose v) ->
+    Register.write proposals.(proc) (Some v);
+    match Queue.dequeue queue with
+    | Some Token -> Consensus_type.Decided v
+    | None ->
+        (* Lost the race: adopt the winner's proposal.  With two
+           processes "the other" is unambiguous and, because the winner
+           published before dequeuing, its register is set.  With more
+           processes this guess is wrong by design (consensus number
+           2); the explorer exhibits the violation. *)
+        let other =
+          match List.find_opt (fun j -> j <> proc) (List.init n (fun i -> i + 1)) with
+          | Some j -> j
+          | None -> proc
+        in
+        (match Register.read proposals.(other) with
+        | Some w -> Consensus_type.Decided w
+        | None -> Consensus_type.Decided v)

@@ -1,0 +1,25 @@
+(** Herlihy's two-process consensus from a FIFO queue.
+
+    Queues have consensus number 2 (Herlihy, "Wait-free
+    synchronization" — the paper's [19]): the classical protocol makes
+    two processes wait-free consensus out of one queue and two
+    registers, and {e no} protocol built from queues and registers can
+    solve it for three.
+
+    The protocol: the queue initially holds a single token; each
+    process publishes its proposal in its register, then dequeues.
+    Whoever gets the token is the winner and decides its own proposal;
+    the other process (dequeue returned [None] or a non-token) decides
+    the winner's published value.
+
+    For [n = 2] the implementation is wait-free and safe on {e every}
+    schedule — the test suite proves it exhaustively with
+    {!Slx_core.Explore}.  Run with [n = 3] it is deliberately the
+    naive extension (the loser cannot tell who won among two others and
+    adopts the smaller-id opponent's value): the explorer finds an
+    agreement violation automatically, an executable echo of the
+    consensus-number hierarchy (experiment E18). *)
+
+val factory :
+  unit ->
+  (Consensus_type.invocation, Consensus_type.response) Slx_sim.Runner.factory

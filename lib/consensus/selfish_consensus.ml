@@ -1,0 +1,2 @@
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n:_ ~proc:_ (Consensus_type.Propose v) -> Consensus_type.Decided v

@@ -1,0 +1,11 @@
+(** The unsafe foil: each process decides its own value immediately.
+
+    Wait-free — indeed it makes no base-object step at all — but
+    violates agreement as soon as two distinct values are proposed.
+    Used by the test suites and benches to check that the safety
+    checkers reject what the liveness checkers accept: the trade-off
+    cuts both ways. *)
+
+val factory :
+  unit ->
+  (Consensus_type.invocation, Consensus_type.response) Slx_sim.Runner.factory

@@ -1,0 +1,27 @@
+open Slx_sim
+open Slx_liveness
+
+type ('inv, 'res) verdict = {
+  report : ('inv, 'res) Run_report.t;
+  fair : bool;
+  safety_holds : bool;
+  liveness_holds : bool;
+}
+
+let adversary_wins v = v.fair && v.safety_holds && not v.liveness_holds
+
+let implementation_survives v = v.safety_holds && (v.liveness_holds || not v.fair)
+
+let play ~n ~factory ~adversary ~safety ~liveness ~max_steps =
+  let report = Runner.run ~n ~factory ~driver:adversary ~max_steps () in
+  {
+    report;
+    fair = Fairness.is_bounded_fair report;
+    safety_holds = Slx_safety.Property.holds safety report.Run_report.history;
+    liveness_holds = Live_property.holds liveness report;
+  }
+
+let sweep ~n ~factory ~adversaries ~safety ~liveness ~max_steps =
+  List.map
+    (fun adversary -> play ~n ~factory ~adversary ~safety ~liveness ~max_steps)
+    adversaries

@@ -1,0 +1,53 @@
+(** Safety–liveness exclusion as an executable game (Definition 4.1).
+
+    “Liveness property [L] excludes safety property [S] if there is no
+    implementation [I] of an object of type [Tp] such that [I] ensures
+    both [S] and [L].”
+
+    Operationally, exclusion shows up as a game between an adversary
+    (a {!Slx_sim.Driver.t} that picks schedules and invocations) and an
+    implementation: the adversary wins a run if the run is bounded-fair,
+    the history satisfies [S] (the implementation is playing by the
+    safety rules), and the liveness property fails on the run.  A
+    black grid point of Figure 1 is one where the adversary wins
+    against every implementation we field; a white one is where some
+    implementation survives every driver we field. *)
+
+open Slx_sim
+open Slx_liveness
+
+(** The outcome of one game. *)
+type ('inv, 'res) verdict = {
+  report : ('inv, 'res) Run_report.t;
+  fair : bool;                 (** Bounded fairness of the run. *)
+  safety_holds : bool;         (** [S] on the run's history. *)
+  liveness_holds : bool;       (** [L] on the run. *)
+}
+
+val adversary_wins : ('inv, 'res) verdict -> bool
+(** Fair ∧ safe ∧ liveness violated: a genuine exclusion witness. *)
+
+val implementation_survives : ('inv, 'res) verdict -> bool
+(** Safe ∧ (liveness holds ∨ the run was unfair — an unfair run
+    proves nothing against the implementation). *)
+
+val play :
+  n:int ->
+  factory:('inv, 'res) Runner.factory ->
+  adversary:('inv, 'res) Driver.t ->
+  safety:('inv, 'res) Slx_history.History.t Slx_safety.Property.t ->
+  liveness:('inv, 'res) Live_property.t ->
+  max_steps:int ->
+  ('inv, 'res) verdict
+(** Run one game and judge it. *)
+
+val sweep :
+  n:int ->
+  factory:('inv, 'res) Runner.factory ->
+  adversaries:('inv, 'res) Driver.t list ->
+  safety:('inv, 'res) Slx_history.History.t Slx_safety.Property.t ->
+  liveness:('inv, 'res) Live_property.t ->
+  max_steps:int ->
+  ('inv, 'res) verdict list
+(** One game per adversary (each against a fresh implementation
+    instance). *)

@@ -1,0 +1,94 @@
+open Slx_history
+open Slx_sim
+
+type ('inv, 'res) outcome =
+  | Ok of int
+  | Counterexample of ('inv, 'res) Run_report.t
+
+exception Found_counterexample
+
+let workload_invoke workload view p =
+  let issued =
+    History.length
+      (History.filter
+         (fun e -> Event.is_invocation e && Proc.equal (Event.proc e) p)
+         view.Driver.history)
+  in
+  workload p issued
+
+(* Reconstruct a driver view from a finished replay, so [invoke] and
+   the decision enumeration can inspect the configuration. *)
+let view_of_report (r : _ Run_report.t) : _ Driver.view =
+  let status p =
+    if Proc.Set.mem p r.Run_report.crashed then Runtime.Crashed
+    else if Option.is_some (History.pending r.Run_report.history p) then
+      Runtime.Ready
+    else Runtime.Idle
+  in
+  {
+    Driver.time = r.Run_report.total_time;
+    n = r.Run_report.n;
+    history = r.Run_report.history;
+    status;
+    steps = (fun p -> Run_report.steps_total r p);
+  }
+
+let forall_schedules ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
+  let runs = ref 0 in
+  let witness = ref None in
+  let replay script =
+    let len = List.length script in
+    Runner.run ~n ~factory:(factory ())
+      ~driver:(Driver.of_script (List.rev script))
+      ~max_steps:len ~window:(max len 1) ()
+  in
+  let rec explore rev_script len crashes =
+    let report = replay rev_script in
+    let view = view_of_report report in
+    let decisions =
+      if len >= depth then []
+      else
+        List.concat_map
+          (fun p ->
+            match view.Driver.status p with
+            | Runtime.Ready -> [ Driver.Schedule p ]
+            | Runtime.Idle -> begin
+                match invoke view p with
+                | Some inv -> [ Driver.Invoke (p, inv) ]
+                | None -> []
+              end
+            | Runtime.Crashed -> [])
+          (Proc.all ~n)
+        @
+        if crashes < max_crashes then
+          List.filter_map
+            (fun p ->
+              if view.Driver.status p = Runtime.Crashed then None
+              else Some (Driver.Crash p))
+            (Proc.all ~n)
+        else []
+    in
+    match decisions with
+    | [] ->
+        (* A maximal run: check it. *)
+        incr runs;
+        if not (check report) then begin
+          witness := Some report;
+          raise Found_counterexample
+        end
+    | _ :: _ ->
+        List.iter
+          (fun d ->
+            let crashes' =
+              match d with Driver.Crash _ -> crashes + 1 | _ -> crashes
+            in
+            explore (d :: rev_script) (len + 1) crashes')
+          decisions
+  in
+  match explore [] 0 0 with
+  | () -> Ok !runs
+  | exception Found_counterexample -> begin
+      match !witness with
+      | Some r -> Counterexample r
+      | None -> assert false
+    end

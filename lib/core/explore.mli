@@ -1,0 +1,57 @@
+(** Exhaustive bounded exploration: check a property on {e every}
+    schedule, not a sample.
+
+    The paper's statements quantify over all executions; the random
+    and adversarial drivers only sample them.  For small systems and
+    short horizons the schedule space is enumerable: at every tick the
+    scheduler chooses among the ready processes (one atomic step) and
+    the idle processes with pending work (an invocation), with an
+    optional crash branch.  This module walks the whole tree,
+    re-running the implementation from scratch down each branch
+    (implementations are deterministic, so a decision prefix determines
+    the run), and reports the first counterexample or the number of
+    maximal runs checked.
+
+    The test suites use it to promote sampled claims to exhaustive
+    ones — e.g. {e agreement and validity hold for CAS consensus on
+    every schedule of two processes and ten steps}, and {e final-state
+    opacity holds for AGP on every schedule of two one-op
+    transactions}. *)
+
+open Slx_history
+open Slx_sim
+
+type ('inv, 'res) outcome =
+  | Ok of int
+      (** Every maximal bounded run satisfied the check; the payload is
+          how many runs were explored. *)
+  | Counterexample of ('inv, 'res) Run_report.t
+      (** The first failing run, for diagnosis. *)
+
+val forall_schedules :
+  n:int ->
+  factory:(unit -> ('inv, 'res) Runner.factory) ->
+  invoke:(('inv, 'res) Driver.view -> Proc.t -> 'inv option) ->
+  depth:int ->
+  ?max_crashes:int ->
+  check:(('inv, 'res) Run_report.t -> bool) ->
+  unit ->
+  ('inv, 'res) outcome
+(** [forall_schedules ~n ~factory ~invoke ~depth ~check ()] explores
+    every decision sequence of at most [depth] ticks.  [factory] must
+    return a {e fresh} implementation instance on each call (one per
+    explored branch).  [invoke view p] supplies the invocation an idle
+    process would issue, or [None] if it has no more work — protocol-
+    aware workloads (e.g. {!Slx_tm.Tm_workload.next_invocation}) fit
+    directly.  [max_crashes] (default 0) additionally branches on
+    crashing each not-yet-crashed process.
+
+    The check runs on maximal runs only (depth reached or no decision
+    available); the window is the whole run. *)
+
+val workload_invoke :
+  ('inv, 'res) Driver.workload ->
+  ('inv, 'res) Driver.view ->
+  Proc.t ->
+  'inv option
+(** Adapt a counting workload to the [invoke] interface. *)

@@ -1,0 +1,23 @@
+type 'h t = { name : string; histories : 'h list }
+
+let make ~name = function
+  | [] -> invalid_arg "Gmax.make: an adversary set is non-empty"
+  | histories -> { name; histories }
+
+let subset_of_safety s t =
+  List.for_all (Slx_safety.Property.holds s) t.histories
+
+let avoids_liveness ~violates t = List.for_all violates t.histories
+
+let intersect ~equal t1 t2 =
+  List.filter (fun h -> List.exists (equal h) t2.histories) t1.histories
+
+let intersect_all ~equal = function
+  | [] -> invalid_arg "Gmax.intersect_all: empty family"
+  | t :: rest ->
+      List.fold_left
+        (fun acc t' ->
+          List.filter (fun h -> List.exists (equal h) t'.histories) acc)
+        t.histories rest
+
+let disjoint ~equal t1 t2 = intersect ~equal t1 t2 = []

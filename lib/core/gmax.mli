@@ -1,0 +1,40 @@
+(** Adversary sets and the [Gmax] intersection (Definition 4.3 and
+    Theorem 4.4).
+
+    An adversary set w.r.t. [L] and [S] is a set [F] of histories with
+    (1) [F ⊆ S], (2) [F ⊆ complement of L], and (3) every
+    implementation ensuring [S] has a fair history in [F].  Theorem
+    4.4: a weakest liveness property excluding [S] exists iff [Gmax],
+    the intersection of all adversary sets w.r.t. [Lmax] and [S], is
+    itself an adversary set.
+
+    This module works with {e finite} adversary sets — the paper's own
+    corollaries only need finite witnesses (the six-history sets [F1],
+    [F2] of Corollary 4.5, the strategy-generated families of
+    Corollary 4.6) — and with the bounded-universe model checker of
+    {!Theorem_4_4}, where all quantifiers are finite. *)
+
+type 'h t = { name : string; histories : 'h list }
+(** A finite adversary set (or a finite fragment of one). *)
+
+val make : name:string -> 'h list -> 'h t
+(** @raise Invalid_argument on an empty list (Definition 4.3 requires
+    non-emptiness). *)
+
+val subset_of_safety : 'h Slx_safety.Property.t -> 'h t -> bool
+(** Condition (1): every history of the set satisfies [S]. *)
+
+val avoids_liveness : violates:('h -> bool) -> 'h t -> bool
+(** Condition (2): every history of the set violates [L] (the caller
+    supplies the bounded reading of “[h ∉ L]”). *)
+
+val intersect : equal:('h -> 'h -> bool) -> 'h t -> 'h t -> 'h list
+(** The common histories of two sets. *)
+
+val intersect_all : equal:('h -> 'h -> bool) -> 'h t list -> 'h list
+(** [⋂] of finitely many sets.  @raise Invalid_argument on []. *)
+
+val disjoint : equal:('h -> 'h -> bool) -> 'h t -> 'h t -> bool
+(** [intersect] is empty — the paper's route to [Gmax = ∅]: “it is
+    possible to find two adversary sets [F1] and [F2] … such that
+    [F1 ∩ F2 = ∅], and consequently [Gmax ∉ F(Lmax)]”. *)

@@ -1,0 +1,89 @@
+(** A bounded-universe model checker for Theorem 4.4.
+
+    Theorem 4.4: {e there exists a weakest liveness property that
+    excludes [S] iff [Gmax] (the intersection of all adversary sets
+    w.r.t. [Lmax] and [S]) is itself an adversary set.}
+
+    All quantifiers in the theorem — over implementations, histories
+    and adversary sets — become finite in a micro-universe: a tiny
+    object type (one invocation [ping], one response [ack]), a finite
+    family of implementations, and histories bounded by invocation
+    budgets.  In that setting an adversary set is exactly a
+    {e covering} subset of [U = S ∩ ¬Lmax ∩ (⋃ fair histories)]: a set
+    hitting every implementation's fair-history trap set.  Two facts
+    make [Gmax] computable:
+
+    - [Gmax = { h | some implementation's trap set is exactly {h} }]
+      (the intersection of all covering sets keeps exactly the
+      histories that are some implementation's {e only} fair escape);
+    - [Gmax] is an adversary set iff it still covers every
+      implementation.
+
+    {!verify_by_enumeration} cross-checks the characterization against
+    brute-force enumeration of all covering subsets.
+
+    Instances: {!positive} is a 1-process universe with the asymmetric
+    safety property “at most one response ever” — every implementation
+    has a unique fair trap, so [Gmax] covers and a weakest excluding
+    liveness property exists.  {!negative} is the 2-process symmetric
+    analogue — every implementation can be trapped along [ping_1]-first
+    {e or} [ping_2]-first histories (the two disjoint adversary sets of
+    the corollaries), no trap is a singleton, [Gmax = ∅], and no
+    weakest excluding liveness property exists. *)
+
+open Slx_history
+
+type invocation = Ping
+type response = Ack
+
+type history = (invocation, response) History.t
+
+(** A micro-universe instance. *)
+type instance = {
+  name : string;
+  universe : history list;  (** [U]: the candidate adversary histories. *)
+  impl_traps : (string * history list) list;
+      (** Per implementation [I] ensuring [S]: [fair(A_I) ∩ U]. *)
+}
+
+val equal_history : history -> history -> bool
+
+val traps : n:int -> quotas:int list -> history list
+(** The maximal fair crash-free histories of the “respond to the first
+    [quotas.(i)] invocations of process [i+1], then block” policy
+    implementation, enumerated over all environment interleavings.
+    Every such history leaves every process pending — the bounded
+    violation of [Lmax]. *)
+
+val instance_of : n:int -> quota_sets:int list list -> instance
+(** A custom micro-universe: one quota-policy implementation per
+    element of [quota_sets] (each a list of [n] per-process response
+    quotas), universe = the union of their traps.  The property-based
+    tests use this to validate the [Gmax] characterization against
+    brute force on randomly generated instances. *)
+
+val positive : unit -> instance
+(** The 1-process universe: implementations [I0] (never respond) and
+    [I1] (respond once), safety “at most one response”. *)
+
+val negative : unit -> instance
+(** The 2-process symmetric universe: implementations never/once
+    responding per process, safety “at most one response per
+    process”. *)
+
+val gmax : instance -> history list
+(** The singleton-trap characterization of [Gmax]. *)
+
+val gmax_is_adversary_set : instance -> bool
+(** Does [Gmax] still cover every implementation?  By Theorem 4.4 this
+    decides {!weakest_excluding_exists}. *)
+
+val weakest_excluding_exists : instance -> bool
+(** = {!gmax_is_adversary_set}. *)
+
+val verify_by_enumeration : instance -> bool
+(** Brute force: enumerate every subset of [universe], keep the
+    covering ones (the adversary sets), intersect them all, and check
+    the result equals {!gmax} — validating the characterization on this
+    instance.  Exponential in [|universe|]; intended for the micro
+    instances only. *)

@@ -1,0 +1,179 @@
+open Slx_automata
+
+let ping = Action.invocation ~proc:1 "ping"
+let ack = Action.response ~proc:1 "ack"
+let crash = Action.crash 1
+
+let idle = State.leaf "idle"
+let pending = State.leaf "pending"
+let crashed = State.leaf "crashed"
+
+let it () =
+  Automaton.make ~name:"It" ~inputs:[ ping; crash ] ~outputs:[ ack ]
+    ~internals:[] ~init:[ idle ]
+    ~delta:(fun s ->
+      if State.equal s idle then [ (ping, pending); (crash, crashed) ]
+      else if State.equal s pending then [ (crash, crashed) ]
+      else [])
+
+let s_responding = State.leaf "responding"
+let enabled_again = State.leaf "enabled-again"
+let dead = State.leaf "dead"
+
+let ib () =
+  Automaton.make ~name:"Ib" ~inputs:[ ping; crash ] ~outputs:[ ack ]
+    ~internals:[] ~init:[ idle ]
+    ~delta:(fun s ->
+      if State.equal s idle then [ (ping, s_responding); (crash, crashed) ]
+      else if State.equal s s_responding then
+        [ (ack, enabled_again); (crash, crashed) ]
+      else if State.equal s enabled_again then
+        [ (ping, dead); (crash, crashed) ]
+      else if State.equal s dead then [ (crash, crashed) ]
+      else [])
+
+(* S on the micro object: well-formed, crash-respecting histories of
+   ping/ack actions. *)
+let well_formed trace =
+  let rec go is_pending crashed = function
+    | [] -> true
+    | a :: rest ->
+        if crashed then false
+        else if String.equal a ping then
+          (not is_pending) && go true crashed rest
+        else if String.equal a ack then is_pending && go false crashed rest
+        else if String.equal a crash then go is_pending true rest
+        else false
+  in
+  go false false trace
+
+(* Bounded Lmax: every correct pending process eventually gets its
+   response — a finite history violates it when it ends with a correct
+   process still pending. *)
+let in_lmax trace =
+  let rec go is_pending crashed = function
+    | [] -> (not is_pending) || crashed
+    | a :: rest ->
+        if String.equal a ping then go true crashed rest
+        else if String.equal a ack then go false crashed rest
+        else if String.equal a crash then go is_pending true rest
+        else go is_pending crashed rest
+  in
+  go false false trace
+
+let equal_trace t1 t2 =
+  List.length t1 = List.length t2 && List.for_all2 String.equal t1 t2
+
+let fair_traces automaton ~depth =
+  let seen = Hashtbl.create 32 in
+  List.filter_map
+    (fun e ->
+      if Automaton.is_fair_finite automaton e then begin
+        let tr = Automaton.trace automaton e in
+        let key = String.concat "|" tr in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some tr
+        end
+      end
+      else None)
+    (Automaton.executions automaton ~depth)
+
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 4.8 on the bounded universe.                                  *)
+
+(* All well-formed crash-free traces over ping/ack up to [depth]
+   events: the bounded trace universe. *)
+let universe ~depth =
+  let rec extend trace len is_pending acc =
+    let acc = trace :: acc in
+    if len = depth then acc
+    else if is_pending then extend (trace @ [ ack ]) (len + 1) false acc
+    else extend (trace @ [ ping ]) (len + 1) true acc
+  in
+  extend [] 0 false []
+
+let lemma_4_8 ~depth =
+  let u = universe ~depth in
+  let size = List.length u in
+  if size > 20 then invalid_arg "Theorem_4_9.lemma_4_8: universe too large";
+  let u = Array.of_list u in
+  let lmax_mask =
+    (* Bounded Lmax within the universe. *)
+    let mask = ref 0 in
+    Array.iteri (fun i tr -> if in_lmax tr then mask := !mask lor (1 lsl i)) u;
+    !mask
+  in
+  let mask_of traces =
+    let mask = ref 0 in
+    Array.iteri
+      (fun i tr -> if List.exists (equal_trace tr) traces then mask := !mask lor (1 lsl i))
+      u;
+    !mask
+  in
+  let check_impl fair_traces =
+    let fair_mask = mask_of fair_traces in
+    let expected = lmax_mask lor fair_mask in
+    (* Enumerate every liveness property over the universe (supersets
+       of Lmax), keep those the implementation ensures (fair subset),
+       and intersect them: Lemma 4.8 says the result is exactly
+       Lmax + fair(A_I). *)
+    let meet = ref ((1 lsl size) - 1) in
+    for m = 0 to (1 lsl size) - 1 do
+      let l = m lor lmax_mask in
+      if fair_mask land l = fair_mask then meet := !meet land l
+    done;
+    !meet = expected
+  in
+  let it = it () and ib = ib () in
+  check_impl (fair_traces it ~depth) && check_impl (fair_traces ib ~depth)
+
+type result = {
+  it : Automaton.t;
+  ib : Automaton.t;
+  it_traces : Action.t list list;
+  ib_traces : Action.t list list;
+  it_fair_traces : Action.t list list;
+  ib_fair_traces : Action.t list list;
+  both_ensure_s : bool;
+  h_separates : bool;
+  h'_separates : bool;
+  h_outside_lmax : bool;
+  incomparable : bool;
+}
+
+let run ~depth =
+  let it = it () and ib = ib () in
+  let it_traces = Automaton.traces it ~depth in
+  let ib_traces = Automaton.traces ib ~depth in
+  let it_fair_traces = fair_traces it ~depth in
+  let ib_fair_traces = fair_traces ib ~depth in
+  let mem tr set = List.exists (equal_trace tr) set in
+  let h = [ ping ] in
+  let h' = [ ping; ack; ping ] in
+  let both_ensure_s =
+    List.for_all well_formed it_traces && List.for_all well_formed ib_traces
+  in
+  let h_separates = mem h it_fair_traces && not (mem h ib_fair_traces) in
+  let h'_separates = mem h' ib_fair_traces && not (mem h' it_fair_traces) in
+  let h_outside_lmax = (not (in_lmax h)) && not (in_lmax h') in
+  let incomparable = h_separates && h'_separates && h_outside_lmax in
+  {
+    it;
+    ib;
+    it_traces;
+    ib_traces;
+    it_fair_traces;
+    ib_fair_traces;
+    both_ensure_s;
+    h_separates;
+    h'_separates;
+    h_outside_lmax;
+    incomparable;
+  }
+
+let holds r =
+  r.both_ensure_s && r.h_separates && r.h'_separates && r.h_outside_lmax
+  && r.incomparable

@@ -1,0 +1,72 @@
+(** The constructions of Theorem 4.9, machine-checked on finite
+    automata.
+
+    Theorem 4.9: {e if a strongest liveness property that does not
+    exclude [S] exists, it must be [Lmax]}.  The proof plays candidate
+    “strongest” properties against two trivial implementations:
+
+    - [It] — the implementation that never responds: by
+      input-enabledness every history of any [S]-ensuring
+      implementation restricted to invocations is also a history of
+      [It], so [It] ensures [S]; its fair histories are the blocked
+      ones;
+    - [Ib] — the implementation that responds exactly once (to the
+      first invocation) and then blocks.
+
+    On the micro object type (one process, [ping]/[ack], [S] = all
+    well-formed histories) this module builds both as explicit
+    {!Slx_automata.Automaton} values and checks the proof's moves:
+
+    + both ensure [S] (every bounded trace is well-formed and in [S]);
+    + [h = ping] is a fair trace of [It] but {e not} of [Ib] (at [Ib]'s
+      post-invocation state the response is enabled, so stopping there
+      is unfair);
+    + [h' = ping · ack · ping] is a fair trace of [Ib] but not of
+      [It];
+    + neither [h] nor [h'] is in the bounded [Lmax] (both end with a
+      correct pending process);
+    + hence [Lt = Lmax ∪ fair(It)] and [Lb = Lmax ∪ fair(Ib)] — the
+      strongest properties ensured by [It] and [Ib] (Lemma 4.8) — are
+      {e incomparable}, and no strongest non-excluding liveness
+      property below [Lmax] can exist.
+
+    The [result] record exposes every intermediate fact so the bench
+    can print the reasoning chain and the tests can assert it. *)
+
+open Slx_automata
+
+type result = {
+  it : Automaton.t;              (** The never-respond automaton. *)
+  ib : Automaton.t;              (** The respond-once automaton. *)
+  it_traces : Action.t list list;  (** Bounded traces of [It]. *)
+  ib_traces : Action.t list list;  (** Bounded traces of [Ib]. *)
+  it_fair_traces : Action.t list list;
+  ib_fair_traces : Action.t list list;
+  both_ensure_s : bool;          (** Check 1. *)
+  h_separates : bool;            (** Check 2: [h ∈ fair(It) \ fair(Ib)]. *)
+  h'_separates : bool;           (** Check 3: [h' ∈ fair(Ib) \ fair(It)]. *)
+  h_outside_lmax : bool;         (** Check 4. *)
+  incomparable : bool;           (** Check 5: the conclusion. *)
+}
+
+val it : unit -> Automaton.t
+(** The never-responding automaton ([n = 1], crash-augmented). *)
+
+val ib : unit -> Automaton.t
+(** The respond-once automaton. *)
+
+val run : depth:int -> result
+(** Execute all checks with the given exploration depth (>= 4 for the
+    separating histories to appear). *)
+
+val holds : result -> bool
+(** All five checks passed. *)
+
+val lemma_4_8 : depth:int -> bool
+(** Lemma 4.8 machine-checked on the bounded trace universe: for each
+    of [It] and [Ib], enumerate {e every} liveness property over the
+    universe (every superset of the bounded [Lmax]), keep the ones the
+    implementation ensures ([fair(A_I) ⊆ L]), and verify their
+    intersection — the strongest ensured property — is exactly
+    [Lmax ∪ fair(A_I)].  Exponential in the universe size; [depth <= 7]
+    keeps it instant. *)

@@ -1,0 +1,43 @@
+type ('inv, 'res) t =
+  | Invocation of Proc.t * 'inv
+  | Response of Proc.t * 'res
+  | Crash of Proc.t
+
+let proc = function
+  | Invocation (p, _) -> p
+  | Response (p, _) -> p
+  | Crash p -> p
+
+let is_invocation = function Invocation _ -> true | Response _ | Crash _ -> false
+let is_response = function Response _ -> true | Invocation _ | Crash _ -> false
+let is_crash = function Crash _ -> true | Invocation _ | Response _ -> false
+
+let invocation = function
+  | Invocation (_, inv) -> Some inv
+  | Response _ | Crash _ -> None
+
+let response = function
+  | Response (_, res) -> Some res
+  | Invocation _ | Crash _ -> None
+
+let equal ~inv ~res e1 e2 =
+  match e1, e2 with
+  | Invocation (p1, i1), Invocation (p2, i2) -> Proc.equal p1 p2 && inv i1 i2
+  | Response (p1, r1), Response (p2, r2) -> Proc.equal p1 p2 && res r1 r2
+  | Crash p1, Crash p2 -> Proc.equal p1 p2
+  | (Invocation _ | Response _ | Crash _), _ -> false
+
+let map ~inv ~res = function
+  | Invocation (p, i) -> Invocation (p, inv i)
+  | Response (p, r) -> Response (p, res r)
+  | Crash p -> Crash p
+
+let rename f = function
+  | Invocation (p, i) -> Invocation (f p, i)
+  | Response (p, r) -> Response (f p, r)
+  | Crash p -> Crash (f p)
+
+let pp ~pp_inv ~pp_res fmt = function
+  | Invocation (p, i) -> Format.fprintf fmt "%a_%d" pp_inv i p
+  | Response (p, r) -> Format.fprintf fmt "%a_%d" pp_res r p
+  | Crash p -> Format.fprintf fmt "crash_%d" p

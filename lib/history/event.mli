@@ -1,0 +1,57 @@
+(** External events of a shared-object implementation.
+
+    Following Section 2 of the paper, the external actions of an
+    implementation automaton are the invocations [inv_i], the responses
+    [res_i], and the crash actions [crash_i], for each process [p_i].
+    The set of these actions for an object type [Tp] is written
+    [ext(Tp)] in the paper.
+
+    The type is polymorphic in the invocation and response payloads so
+    that the same event machinery serves registers, consensus objects,
+    transactional memories, and any user-defined object type. *)
+
+type ('inv, 'res) t =
+  | Invocation of Proc.t * 'inv  (** [inv_i]: process [p_i] invokes. *)
+  | Response of Proc.t * 'res    (** [res_i]: process [p_i] receives. *)
+  | Crash of Proc.t              (** [crash_i]: process [p_i] crashes. *)
+
+val proc : ('inv, 'res) t -> Proc.t
+(** The process an event belongs to. *)
+
+val is_invocation : ('inv, 'res) t -> bool
+val is_response : ('inv, 'res) t -> bool
+val is_crash : ('inv, 'res) t -> bool
+
+val invocation : ('inv, 'res) t -> 'inv option
+(** [invocation e] is [Some inv] if [e] is an invocation. *)
+
+val response : ('inv, 'res) t -> 'res option
+(** [response e] is [Some res] if [e] is a response. *)
+
+val equal :
+  inv:('inv -> 'inv -> bool) ->
+  res:('res -> 'res -> bool) ->
+  ('inv, 'res) t ->
+  ('inv, 'res) t ->
+  bool
+(** Structural equality given payload equalities. *)
+
+val map :
+  inv:('inv -> 'inv2) ->
+  res:('res -> 'res2) ->
+  ('inv, 'res) t ->
+  ('inv2, 'res2) t
+(** Map over the payloads of an event. *)
+
+val rename : (Proc.t -> Proc.t) -> ('inv, 'res) t -> ('inv, 'res) t
+(** [rename f e] replaces the process of [e] by its image under [f].
+    Used to build process-permuted adversaries (e.g. the [F2] adversary
+    sets of Corollaries 4.5 and 4.6 are process swaps of [F1]). *)
+
+val pp :
+  pp_inv:(Format.formatter -> 'inv -> unit) ->
+  pp_res:(Format.formatter -> 'res -> unit) ->
+  Format.formatter ->
+  ('inv, 'res) t ->
+  unit
+(** Pretty-print an event, e.g. ["propose(0)_1"] or ["crash_2"]. *)

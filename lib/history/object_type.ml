@@ -1,0 +1,47 @@
+module type S = sig
+  type state
+  type invocation
+  type response
+
+  val name : string
+  val initial : state
+  val seq : invocation -> state -> (state * response) list
+  val good : response -> bool
+  val equal_state : state -> state -> bool
+  val equal_invocation : invocation -> invocation -> bool
+  val equal_response : response -> response -> bool
+  val pp_state : Format.formatter -> state -> unit
+  val pp_invocation : Format.formatter -> invocation -> unit
+  val pp_response : Format.formatter -> response -> unit
+end
+
+type ('st, 'inv, 'res) t = (module S
+   with type state = 'st and type invocation = 'inv and type response = 'res)
+
+let sequential_responses (type st inv res) (tp : (st, inv, res) t)
+    (invs : inv list) : (st * res list) list =
+  let module Tp = (val tp) in
+  let step acc inv =
+    List.concat_map
+      (fun (st, responses) ->
+        List.map
+          (fun (st', res) -> (st', res :: responses))
+          (Tp.seq inv st))
+      acc
+  in
+  List.fold_left step [ (Tp.initial, []) ] invs
+  |> List.map (fun (st, rev_responses) -> (st, List.rev rev_responses))
+
+let legal_sequential (type st inv res) (tp : (st, inv, res) t)
+    (pairs : (inv * res) list) : bool =
+  let module Tp = (val tp) in
+  let step states (inv, res) =
+    List.concat_map
+      (fun st ->
+        List.filter_map
+          (fun (st', res') ->
+            if Tp.equal_response res res' then Some st' else None)
+          (Tp.seq inv st))
+      states
+  in
+  List.fold_left step [ Tp.initial ] pairs <> []

@@ -1,0 +1,65 @@
+(** Shared object types.
+
+    The paper (Section 2) defines a shared object type as a tuple
+    [Tp = (St, Inv, Res, Seq)] where [Seq <= Inv x St x St x Res] is
+    the sequential specification, and (Section 5.1) additionally fixes
+    a subset [GTp <= Res] of {e good} responses — the responses that
+    constitute progress.  For consensus and registers every response is
+    good; for transactional memory only commit responses are.
+
+    An [OBJECT_TYPE] packages all of this, together with the printers
+    and equalities the checkers and test harnesses need. *)
+
+module type S = sig
+  type state
+  (** [St]: states of the object. *)
+
+  type invocation
+  (** [Inv]: invocations on the object. *)
+
+  type response
+  (** [Res]: responses from the object. *)
+
+  val name : string
+  (** Human-readable name of the object type, e.g. ["consensus"]. *)
+
+  val initial : state
+  (** The initial state. *)
+
+  val seq : invocation -> state -> (state * response) list
+  (** The sequential specification as a relation: [seq inv st] is the
+      list of [(st', res)] such that [(inv, st, st', res) in Seq].  An
+      empty list means the invocation is illegal in state [st]. *)
+
+  val good : response -> bool
+  (** Membership in [GTp]: does this response constitute progress?
+      (Definition of progress, Section 5.1.) *)
+
+  val equal_state : state -> state -> bool
+  val equal_invocation : invocation -> invocation -> bool
+  val equal_response : response -> response -> bool
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_invocation : Format.formatter -> invocation -> unit
+  val pp_response : Format.formatter -> response -> unit
+end
+
+(** A first-class packing of an object type, convenient for the
+    model-checking core which quantifies over object types. *)
+type ('st, 'inv, 'res) t = (module S
+   with type state = 'st and type invocation = 'inv and type response = 'res)
+
+val sequential_responses :
+  ('st, 'inv, 'res) t -> 'inv list -> ('st * 'res list) list
+(** [sequential_responses tp invs] runs the invocations of [invs]
+    sequentially from the initial state, exploring every
+    nondeterministic branch of [Seq]; returns the reachable
+    [(final_state, responses)] pairs.  Used by tests and by the
+    bounded-universe model checker. *)
+
+val legal_sequential :
+  ('st, 'inv, 'res) t -> ('inv * 'res) list -> bool
+(** [legal_sequential tp pairs] is [true] iff the sequence of
+    invocation/response pairs is a legal sequential execution from the
+    initial state: a path through [Seq] exists producing exactly these
+    responses. *)

@@ -1,0 +1,52 @@
+type ('inv, 'res) t = {
+  proc : Proc.t;
+  inv : 'inv;
+  res : 'res option;
+  inv_index : int;
+  res_index : int option;
+}
+
+let of_history h =
+  (* Scan chronologically, matching each response with the latest
+     unmatched invocation of the same process. *)
+  let open_ops : (Proc.t, ('inv, 'res) t) Hashtbl.t = Hashtbl.create 8 in
+  let completed = ref [] in
+  let handle index e =
+    match e with
+    | Event.Invocation (p, inv) ->
+        Hashtbl.replace open_ops p
+          { proc = p; inv; res = None; inv_index = index; res_index = None }
+    | Event.Response (p, res) -> begin
+        match Hashtbl.find_opt open_ops p with
+        | Some op ->
+            Hashtbl.remove open_ops p;
+            completed :=
+              { op with res = Some res; res_index = Some index } :: !completed
+        | None ->
+            (* Ill-formed history: a response with no matching
+               invocation.  Record nothing; callers should check
+               well-formedness first. *)
+            ()
+      end
+    | Event.Crash _ -> ()
+  in
+  List.iteri handle (History.to_list h);
+  let pending = Hashtbl.fold (fun _ op acc -> op :: acc) open_ops [] in
+  List.sort
+    (fun o1 o2 -> Int.compare o1.inv_index o2.inv_index)
+    (!completed @ pending)
+
+let is_complete op = Option.is_some op.res
+
+let precedes o1 o2 =
+  match o1.res_index with
+  | None -> false
+  | Some r1 -> r1 < o2.inv_index
+
+let concurrent o1 o2 = (not (precedes o1 o2)) && not (precedes o2 o1)
+
+let pp ~pp_inv ~pp_res fmt op =
+  match op.res with
+  | Some res ->
+      Format.fprintf fmt "%a:%a->%a" Proc.pp op.proc pp_inv op.inv pp_res res
+  | None -> Format.fprintf fmt "%a:%a->?" Proc.pp op.proc pp_inv op.inv

@@ -1,0 +1,38 @@
+(** Operations: matched invocation/response pairs of a history.
+
+    Linearizability and the other safety checkers reason about
+    {e operations} — an invocation together with its matching response
+    (or none, if the operation is pending) — and about the real-time
+    precedence order between operations.  This module extracts that
+    view from a raw event history. *)
+
+type ('inv, 'res) t = {
+  proc : Proc.t;          (** The invoking process. *)
+  inv : 'inv;             (** The invocation payload. *)
+  res : 'res option;      (** The response, or [None] if pending. *)
+  inv_index : int;        (** Index of the invocation event in the history. *)
+  res_index : int option; (** Index of the response event, if any. *)
+}
+
+val of_history : ('inv, 'res) History.t -> ('inv, 'res) t list
+(** All operations of a well-formed history, ordered by invocation
+    index.  Pending operations (including those cut off by a crash)
+    have [res = None]. *)
+
+val is_complete : ('inv, 'res) t -> bool
+(** [true] iff the operation has a response. *)
+
+val precedes : ('inv, 'res) t -> ('inv, 'res) t -> bool
+(** [precedes o1 o2] iff [o1] completes before [o2] is invoked — the
+    real-time order used by linearizability and opacity.  Pending
+    operations precede nothing. *)
+
+val concurrent : ('inv, 'res) t -> ('inv, 'res) t -> bool
+(** Neither operation precedes the other. *)
+
+val pp :
+  pp_inv:(Format.formatter -> 'inv -> unit) ->
+  pp_res:(Format.formatter -> 'res -> unit) ->
+  Format.formatter ->
+  ('inv, 'res) t ->
+  unit

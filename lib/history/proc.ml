@@ -1,0 +1,23 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash p = p
+
+let pp fmt p = Format.fprintf fmt "p%d" p
+
+let all ~n =
+  if n < 1 then invalid_arg "Proc.all: n must be positive";
+  List.init n (fun i -> i + 1)
+
+let is_valid ~n p = 1 <= p && p <= n
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let pp_set fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp)
+    (Set.elements s)

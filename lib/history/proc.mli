@@ -1,0 +1,37 @@
+(** Process identifiers.
+
+    The paper considers a system of [n] asynchronous processes
+    [p1 ... pn].  We represent a process identifier as a positive
+    integer; [1] is the first process.  All modules in this repository
+    use this representation. *)
+
+type t = int
+(** A process identifier, [1 <= p <= n]. *)
+
+val compare : t -> t -> int
+(** Total order on process identifiers. *)
+
+val equal : t -> t -> bool
+(** Equality on process identifiers. *)
+
+val hash : t -> int
+(** Hashing, for use in hash tables keyed by process. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt p] prints [p] as ["p3"]. *)
+
+val all : n:int -> t list
+(** [all ~n] is the list [[1; ...; n]] of all process identifiers in a
+    system of [n] processes.  @raise Invalid_argument if [n < 1]. *)
+
+val is_valid : n:int -> t -> bool
+(** [is_valid ~n p] is [true] iff [1 <= p <= n]. *)
+
+module Set : Set.S with type elt = t
+(** Sets of process identifiers. *)
+
+module Map : Map.S with type key = t
+(** Maps keyed by process identifiers. *)
+
+val pp_set : Format.formatter -> Set.t -> unit
+(** Prints a set of processes as [{p1, p3}]. *)

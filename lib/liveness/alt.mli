@@ -1,0 +1,71 @@
+(** Alternative restricted liveness spaces (Section 6 of the paper).
+
+    Section 6 discusses two other ways of restricting the liveness
+    space so the safety-liveness exclusion question becomes answerable:
+
+    - {b S-freedom} (Taubenfeld, DISC 2010): for every set [P] of
+      correct processes with [|P| ∈ S], every member of [P] makes
+      progress as long as it runs without step contention from outside
+      [P].  Singleton S-freedoms are pairwise incomparable — so even in
+      this space there is no strongest implementable consensus liveness
+      property.
+
+    - {b (n,x)-liveness} (Imbs–Raynal–Taubenfeld, PODC 2010): [x]
+      processes are wait-free and the remaining [n - x] are
+      obstruction-free.  These properties are totally ordered in [x],
+      so the strongest implementable one exists ([x = 0]) and the
+      weakest non-implementable one exists ([x = 1]). *)
+
+open Slx_sim
+
+(** S-freedom. *)
+module S_freedom : sig
+  type t
+  (** An S-freedom property: a non-empty set of positive cardinalities. *)
+
+  val make : int list -> t
+  (** @raise Invalid_argument on an empty list or non-positive entry. *)
+
+  val cardinalities : t -> int list
+  (** The set [S], sorted. *)
+
+  val holds : good:('res -> bool) -> ('inv, 'res) Run_report.t -> t -> bool
+  (** Bounded reading: if the window's active processes are all correct
+      and their number is in [S], each of them makes progress. *)
+
+  val stronger_equal : t -> t -> bool
+  (** [stronger_equal a b] iff [b]'s cardinality set is a subset of
+      [a]'s: covering more group sizes demands more. *)
+
+  val comparable : t -> t -> bool
+
+  val singletons : n:int -> t list
+  (** The [n] singleton properties [{1}], ..., [{n}] — exactly the
+      implementable ones per Taubenfeld's characterization, and
+      pairwise incomparable (the fact Section 6 uses). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** (n,x)-liveness. *)
+module Nx_liveness : sig
+  type t = private { n : int; x : int }
+  (** [x] wait-free processes (taken to be processes [1..x]) among
+      [n]. *)
+
+  val make : n:int -> x:int -> t
+  (** @raise Invalid_argument unless [0 <= x <= n]. *)
+
+  val holds : good:('res -> bool) -> ('inv, 'res) Run_report.t -> t -> bool
+  (** Bounded reading: every correct, active process [p <= x] makes
+      progress; and if exactly one process is active and correct, it
+      makes progress (the obstruction-free guarantee for the rest). *)
+
+  val stronger_equal : t -> t -> bool
+  (** Total order: larger [x] is stronger. *)
+
+  val all : n:int -> t list
+  (** [(n,0), ..., (n,n)] in increasing strength. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,9 @@
+open Slx_history
+open Slx_sim
+
+let starved r =
+  Proc.Set.filter
+    (fun p -> Run_report.steps_in_window r p = 0)
+    (Run_report.correct_procs r)
+
+let is_bounded_fair r = Proc.Set.is_empty (starved r)

@@ -1,0 +1,59 @@
+open Slx_history
+open Slx_sim
+
+let trace_period ~equal xs =
+  let xs = Array.of_list xs in
+  let len = Array.length xs in
+  let is_period p =
+    let ok = ref true in
+    for i = 0 to len - 1 - p do
+      if not (equal xs.(i) xs.(i + p)) then ok := false
+    done;
+    !ok
+  in
+  let rec find p =
+    if p > len / 2 then None else if is_period p then Some p else find (p + 1)
+  in
+  if len < 2 then None else find 1
+
+let skeleton e =
+  match e with
+  | Event.Invocation (p, _) -> Printf.sprintf "p%d:inv" p
+  | Event.Response (p, _) -> Printf.sprintf "p%d:res" p
+  | Event.Crash p -> Printf.sprintf "p%d:crash" p
+
+let window_period ?(abstract = skeleton) r =
+  (* The observable activity per window tick: the scheduling grant (if
+     any) followed by the external events recorded at that tick.  Runs
+     whose liveness violation shows up as pure silence (no events) are
+     still periodic in their grants. *)
+  let events = History.to_list r.Run_report.history in
+  let events_at = Hashtbl.create 64 in
+  List.iteri
+    (fun i e ->
+      let t = r.Run_report.event_times.(i) in
+      Hashtbl.replace events_at t
+        (abstract e :: Option.value (Hashtbl.find_opt events_at t) ~default:[]))
+    events;
+  let grant_at = Hashtbl.create 64 in
+  List.iter (fun (t, p) -> Hashtbl.replace grant_at t p) r.Run_report.grants;
+  let tick t =
+    let grant =
+      match Hashtbl.find_opt grant_at t with
+      | Some p -> [ Printf.sprintf "p%d:step" p ]
+      | None -> []
+    in
+    grant @ List.rev (Option.value (Hashtbl.find_opt events_at t) ~default:[])
+  in
+  let trace =
+    List.concat_map tick
+      (List.init
+         (r.Run_report.total_time - Run_report.window_start r)
+         (fun i -> Run_report.window_start r + i))
+  in
+  trace_period ~equal:String.equal trace
+
+let certified_violation ~good r point =
+  Fairness.is_bounded_fair r
+  && (not (Freedom.holds ~good r point))
+  && Option.is_some (window_period r)

@@ -1,0 +1,48 @@
+(** Lasso certificates: evidence that a bounded adversary run extends
+    to an infinite one.
+
+    A bounded run only {e witnesses} an infinite-execution liveness
+    violation if the adversary can keep going forever.  All the
+    adversaries in this repository win by driving the game into a
+    cycle — the same phases repeat with fresh payloads (growing
+    timestamps, incremented values).  The checkable certificate is
+    {e periodicity of the abstracted event trace}: map each windowed
+    event to a skeleton that erases the drifting payloads (process +
+    constructor, by default) and look for a period.
+
+    A period is a strong-but-not-airtight certificate (the hidden
+    implementation state could still drift in a way that eventually
+    breaks the cycle); the experiment suite therefore combines it with
+    window sweeps (experiment E12).  For the deterministic adversaries
+    here the abstracted traces are exactly periodic. *)
+
+open Slx_sim
+
+val trace_period : equal:('a -> 'a -> bool) -> 'a list -> int option
+(** [trace_period ~equal xs] is the smallest [p >= 1] such that [xs] is
+    periodic with period [p] ([xs.(i) = xs.(i + p)] wherever defined)
+    and [p <= length xs / 2] — so at least two full repetitions are
+    observed.  [None] if no such period exists or [xs] is too short. *)
+
+val skeleton :
+  ('inv, 'res) Slx_history.Event.t -> string
+(** The default abstraction: process + constructor name, payloads
+    erased (e.g. [Invocation (2, Write (0, 17))] becomes ["p2:inv"]).
+    Coarse but sufficient for the adversaries here; callers needing a
+    finer abstraction can pass their own to {!window_period}. *)
+
+val window_period :
+  ?abstract:(('inv, 'res) Slx_history.Event.t -> string) ->
+  ('inv, 'res) Run_report.t ->
+  int option
+(** The period of the run's windowed event trace under the abstraction
+    (default {!skeleton}).  [Some p] is the lasso certificate: the
+    adversary repeated its cycle at least twice inside the window. *)
+
+val certified_violation :
+  good:('res -> bool) ->
+  ('inv, 'res) Run_report.t ->
+  Freedom.t ->
+  bool
+(** The full bounded claim: the run is bounded-fair, violates the
+    (l,k)-freedom point, {e and} carries a lasso certificate. *)

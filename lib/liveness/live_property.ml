@@ -1,0 +1,32 @@
+type ('inv, 'res) t = {
+  name : string;
+  holds : ('inv, 'res) Slx_sim.Run_report.t -> bool;
+}
+
+let make ~name holds = { name; holds }
+
+let name t = t.name
+
+let holds t r = t.holds r
+
+let of_freedom ~good f =
+  { name = Format.asprintf "%a" Freedom.pp f;
+    holds = (fun r -> Freedom.holds ~good r f) }
+
+let wait_freedom ~good ~n =
+  let f = Freedom.wait_freedom ~n in
+  { name = "wait-freedom"; holds = (fun r -> Freedom.holds ~good r f) }
+
+let lock_freedom ~good ~n =
+  let f = Freedom.lock_freedom ~n in
+  { name = "lock-freedom"; holds = (fun r -> Freedom.holds ~good r f) }
+
+let obstruction_freedom ~good =
+  let f = Freedom.obstruction_freedom in
+  { name = "obstruction-freedom"; holds = (fun r -> Freedom.holds ~good r f) }
+
+let local_progress ~good ~n =
+  let f = Freedom.wait_freedom ~n in
+  { name = "local-progress"; holds = (fun r -> Freedom.holds ~good r f) }
+
+let conj ~name t1 t2 = { name; holds = (fun r -> t1.holds r && t2.holds r) }

@@ -1,0 +1,42 @@
+(** Liveness properties as first-class values.
+
+    The paper defines a liveness property as any weakening of [Lmax],
+    the strongest progress requirement of the object type (Definition
+    3.2), and evaluates implementations on their fair executions.  The
+    bounded counterpart is a named predicate on {!Slx_sim.Run_report}s;
+    an implementation ensures the property (operationally) if the
+    predicate holds on every bounded-fair run we can drive it
+    through. *)
+
+open Slx_sim
+
+type ('inv, 'res) t = private {
+  name : string;
+  holds : ('inv, 'res) Run_report.t -> bool;
+}
+
+val make : name:string -> (('inv, 'res) Run_report.t -> bool) -> ('inv, 'res) t
+
+val name : ('inv, 'res) t -> string
+
+val holds : ('inv, 'res) t -> ('inv, 'res) Run_report.t -> bool
+
+val of_freedom : good:('res -> bool) -> Freedom.t -> ('inv, 'res) t
+(** The (l,k)-freedom property as a first-class liveness property. *)
+
+val wait_freedom : good:('res -> bool) -> n:int -> ('inv, 'res) t
+(** [Lmax] for ordinary objects: every correct process makes
+    progress. *)
+
+val lock_freedom : good:('res -> bool) -> n:int -> ('inv, 'res) t
+
+val obstruction_freedom : good:('res -> bool) -> ('inv, 'res) t
+
+val local_progress : good:('res -> bool) -> n:int -> ('inv, 'res) t
+(** The TM [Lmax] of [Bushkov–Guerraoui–Kapalka 2012]: every correct
+    process eventually commits — identical to wait-freedom once [good]
+    is “commit responses only”, but named as in the paper. *)
+
+val conj :
+  name:string -> ('inv, 'res) t -> ('inv, 'res) t -> ('inv, 'res) t
+(** Both properties (intersection of the history sets). *)

@@ -1,0 +1,47 @@
+open Slx_base_objects
+
+(* Lamport's Bakery algorithm, verbatim:
+
+     choosing[i] := true
+     number[i]   := 1 + max_j number[j]
+     choosing[i] := false
+     for each j != i:
+       wait until choosing[j] = false
+       wait until number[j] = 0  or  (number[j], j) > (number[i], i)
+     ... critical section ...
+     number[i] := 0
+
+   Every wait is a spin of atomic reads, one scheduling step each. *)
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n ->
+  let choosing = Array.init (n + 1) (fun _ -> Register.make false) in
+  let number = Array.init (n + 1) (fun _ -> Register.make 0) in
+  fun ~proc inv ->
+    match inv with
+    | Mutex.Release ->
+        Register.write number.(proc) 0;
+        Mutex.Released
+    | Mutex.Acquire ->
+        Register.write choosing.(proc) true;
+        let max_ticket = ref 0 in
+        for j = 1 to n do
+          let t = Register.read number.(j) in
+          if t > !max_ticket then max_ticket := t
+        done;
+        let my_ticket = !max_ticket + 1 in
+        Register.write number.(proc) my_ticket;
+        Register.write choosing.(proc) false;
+        for j = 1 to n do
+          if j <> proc then begin
+            let rec wait_choosing () =
+              if Register.read choosing.(j) then wait_choosing ()
+            in
+            wait_choosing ();
+            let rec wait_turn () =
+              let t = Register.read number.(j) in
+              if t <> 0 && (t, j) < (my_ticket, proc) then wait_turn ()
+            in
+            wait_turn ()
+          end
+        done;
+        Mutex.Acquired

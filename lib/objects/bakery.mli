@@ -1,0 +1,23 @@
+(** Lamport's Bakery lock: a starvation-free mutex from registers.
+
+    The counterpoint to {!Mutex.tas_factory}: for mutual exclusion the
+    lock-based [Lmax] — starvation-freedom — does {e not} exclude
+    safety.  The Bakery algorithm grants the lock in ticket order, so
+    under any fair scheduler every acquirer eventually succeeds:
+    (n,n)-freedom with [good = Acquired] holds.  The TAS starvation
+    scheduler cannot produce a fair starvation of it — when it tries,
+    the FIFO discipline blocks the favoured process instead and the run
+    stops being fair (the tests check exactly this).
+
+    Safety-liveness exclusion is a property of the {e object}, not of
+    concurrency per se: consensus-from-registers and opaque TM have the
+    trade-off, mutual exclusion does not.
+
+    Classical caveats hold: tickets grow without bound, and the lock is
+    {e blocking} — a crashed ticket-holder wedges everyone behind it
+    (same failure mode as the TAS lock, tested in the failure-injection
+    suite). *)
+
+val factory :
+  unit -> (Mutex.invocation, Mutex.response) Slx_sim.Runner.factory
+(** A fresh Bakery lock for the run's [n] processes. *)

@@ -1,0 +1,25 @@
+open Slx_base_objects
+
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n:_ ->
+  let q = Cas.make ([] : int list) in
+  fun ~proc:_ inv ->
+    match inv with
+    | Queue_type.Enqueue v ->
+        let rec attempt () =
+          let cur = Cas.read q in
+          if Cas.compare_and_swap q ~expected:cur ~desired:(cur @ [ v ]) then
+            Queue_type.Enqueued
+          else attempt ()
+        in
+        attempt ()
+    | Queue_type.Dequeue ->
+        let rec attempt () =
+          match Cas.read q with
+          | [] -> Queue_type.Empty
+          | x :: rest ->
+              if Cas.compare_and_swap q ~expected:(x :: rest) ~desired:rest
+              then Queue_type.Dequeued x
+              else attempt ()
+        in
+        attempt ()

@@ -1,0 +1,10 @@
+(** A lock-free FIFO queue from compare-and-swap (the whole-value CAS
+    analogue of Michael–Scott): enqueue and dequeue retry a CAS on the
+    functional queue value until they win.  Linearizable at the
+    successful CAS / empty read; lock-free like the Treiber stack.
+    Completes the linearizability checker's workout across LIFO and
+    FIFO disciplines — histories that are stack-legal are usually not
+    queue-legal and vice versa, which the tests exploit. *)
+
+val factory :
+  unit -> (Queue_type.invocation, Queue_type.response) Slx_sim.Runner.factory

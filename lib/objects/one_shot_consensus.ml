@@ -1,0 +1,109 @@
+open Slx_history
+open Slx_base_objects
+
+module type S = sig
+  type 'a t
+
+  val make : n:int -> unit -> 'a t
+  val propose : 'a t -> proc:Proc.t -> 'a -> 'a
+  val peek : 'a t -> 'a option
+end
+
+module Cas = struct
+  type 'a t = 'a option Slx_base_objects.Cas.t
+
+  let make ~n:_ () = Slx_base_objects.Cas.make None
+
+  let propose t ~proc:_ v =
+    let _won =
+      Slx_base_objects.Cas.compare_and_swap t ~expected:None ~desired:(Some v)
+    in
+    match Slx_base_objects.Cas.read t with
+    | Some w -> w
+    | None -> assert false
+
+  let peek t = Slx_base_objects.Cas.read t
+end
+
+module Registers = struct
+  (* One commit-adopt round (cf. Slx_consensus.Register_consensus,
+     generalized to arbitrary values). *)
+  type 'a round = {
+    a : 'a option Register.t array;
+    b : (bool * 'a) option Register.t array;
+  }
+
+  type 'a t = {
+    n : int;
+    rounds : 'a round option array;  (* allocated on first use *)
+    decision : 'a option Register.t;
+  }
+
+  let max_rounds = 4096
+
+  let make_round n =
+    {
+      a = Array.init n (fun _ -> Register.make None);
+      b = Array.init n (fun _ -> Register.make None);
+    }
+
+  let make ~n () =
+    {
+      n;
+      rounds = Array.make max_rounds None;
+      decision = Register.make None;
+    }
+
+  (* Lazily allocate round [r]; modelled as one atomic step so the
+     shared table mutation cannot be interleaved. *)
+  let round t r =
+    Slx_sim.Runtime.atomic (fun () ->
+        match t.rounds.(r) with
+        | Some round -> round
+        | None ->
+            let round = make_round t.n in
+            t.rounds.(r) <- Some round;
+            round)
+
+  type 'a outcome = Commit of 'a | Adopt of 'a
+
+  let commit_adopt round ~n ~i v =
+    Register.write round.a.(i - 1) (Some v);
+    let seen_a =
+      List.filter_map
+        (fun j -> Register.read round.a.(j))
+        (List.init n (fun j -> j))
+    in
+    let phase1 = if List.for_all (fun u -> u = v) seen_a then (true, v) else (false, v) in
+    Register.write round.b.(i - 1) (Some phase1);
+    let seen_b =
+      List.filter_map
+        (fun j -> Register.read round.b.(j))
+        (List.init n (fun j -> j))
+    in
+    let trues = List.filter fst seen_b in
+    match trues with
+    | (_, u) :: _ when List.for_all (fun (f, _) -> f) seen_b -> Commit u
+    | (_, u) :: _ -> Adopt u
+    | [] -> Adopt v
+
+  let propose t ~proc v =
+    let rec go r pref =
+      if r >= max_rounds then
+        failwith "One_shot_consensus.Registers: max_rounds exceeded"
+      else
+        match Register.read t.decision with
+        | Some w -> w
+        | None -> begin
+            match commit_adopt (round t r) ~n:t.n ~i:proc pref with
+            | Commit u ->
+                Register.write t.decision (Some u);
+                u
+            | Adopt u -> go (r + 1) u
+          end
+    in
+    if Proc.is_valid ~n:t.n proc then go 0 v
+    else invalid_arg "One_shot_consensus.Registers.propose: bad process"
+
+  let peek t = Register.read t.decision
+end

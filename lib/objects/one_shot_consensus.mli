@@ -1,0 +1,35 @@
+(** Polymorphic one-shot consensus objects, the building block of the
+    universal construction.
+
+    Two variants with the same interface and different base objects —
+    exactly the split the paper's consensus corollaries hinge on:
+
+    - {!Cas}: from a single compare-and-swap: wait-free (two steps);
+    - {!Registers}: a commit–adopt cascade from read/write registers:
+      obstruction-free, and tied forever by a lockstep schedule.
+
+    [propose] is idempotent per object: every call returns the decided
+    value, so processes can re-propose while racing for log slots. *)
+
+open Slx_history
+
+module type S = sig
+  type 'a t
+
+  val make : n:int -> unit -> 'a t
+  (** A fresh undecided consensus object for [n] processes. *)
+
+  val propose : 'a t -> proc:Proc.t -> 'a -> 'a
+  (** Propose a value; returns the decided value.  May take unboundedly
+      many steps for {!Registers} under contention. *)
+
+  val peek : 'a t -> 'a option
+  (** The decided value, if any (one atomic step). *)
+end
+
+module Cas : S
+(** Decide by a single compare-and-swap. *)
+
+module Registers : S
+(** The commit–adopt cascade of {!Slx_consensus.Register_consensus},
+    generalized to arbitrary values.  Obstruction-free only. *)

@@ -1,0 +1,30 @@
+open Slx_base_objects
+
+(* Peterson's algorithm, verbatim:
+
+     flag[i] := true
+     turn    := j
+     wait until flag[j] = false or turn = i
+     ... critical section ...
+     flag[i] := false *)
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n:_ ->
+  let flag = Array.init 3 (fun _ -> Register.make false) in
+  let turn = Register.make 1 in
+  fun ~proc inv ->
+    if proc < 1 || proc > 2 then
+      invalid_arg "Peterson: a two-process lock";
+    let other = 3 - proc in
+    match inv with
+    | Mutex.Release ->
+        Register.write flag.(proc) false;
+        Mutex.Released
+    | Mutex.Acquire ->
+        Register.write flag.(proc) true;
+        Register.write turn other;
+        let rec wait () =
+          if Register.read flag.(other) && Register.read turn = other then
+            wait ()
+        in
+        wait ();
+        Mutex.Acquired

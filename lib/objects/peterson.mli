@@ -1,0 +1,15 @@
+(** Peterson's two-process lock: starvation-free mutual exclusion from
+    bounded registers.
+
+    The Bakery lock ({!Bakery}) is starvation-free but needs unbounded
+    tickets; Peterson's algorithm achieves the same guarantees for two
+    processes with two flags and one turn register — the classical
+    bounded-space point in the mutex design space.  Used alongside
+    {!Bakery} and {!Mutex.tas_factory} in the lock liveness tests:
+    all three are safe under every schedule, but only the
+    flag/turn-based locks survive the starvation scheduler fairly. *)
+
+val factory :
+  unit -> (Mutex.invocation, Mutex.response) Slx_sim.Runner.factory
+(** A fresh Peterson lock.  The run must have [n = 2]; any other
+    process id raises at invocation time. *)

@@ -1,0 +1,18 @@
+(** The FIFO queue object type, for checking queue implementations
+    linearizable. *)
+
+type invocation = Enqueue of int | Dequeue
+
+type response = Enqueued | Dequeued of int | Empty
+
+include
+  Slx_history.Object_type.S
+    with type state = int list
+     and type invocation := invocation
+     and type response := response
+
+module Self :
+  Slx_history.Object_type.S
+    with type state = int list
+     and type invocation = invocation
+     and type response = response

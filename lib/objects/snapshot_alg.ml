@@ -1,0 +1,54 @@
+open Slx_base_objects
+
+(* Each segment holds the written value, a strictly increasing sequence
+   number, and the writer's embedded view of the whole object. *)
+type 'a segment = { value : 'a; seq : int; view : 'a array }
+
+type 'a t = { n : int; segments : 'a segment Register.t array }
+
+let make ~n init =
+  if n < 1 then invalid_arg "Snapshot_alg.make: n must be positive";
+  let initial = { value = init; seq = 0; view = Array.make n init } in
+  { n; segments = Array.init n (fun _ -> Register.make initial) }
+
+let collect t = Array.map Register.read t.segments
+
+(* The scan loop shared by [scan] and [update]'s embedded scan. *)
+let scan_internal t =
+  let moved = Array.make t.n 0 in
+  let rec attempt () =
+    let a = collect t in
+    let b = collect t in
+    let agree = ref true in
+    Array.iteri
+      (fun j sa -> if sa.seq <> b.(j).seq then agree := false)
+      a;
+    if !agree then Array.map (fun s -> s.value) b
+    else begin
+      (* Someone moved; a writer observed moving twice embedded a view
+         taken entirely within our interval: borrow it. *)
+      let borrowed = ref None in
+      Array.iteri
+        (fun j sa ->
+          if sa.seq <> b.(j).seq then
+            if moved.(j) >= 1 then begin
+              match !borrowed with
+              | None -> borrowed := Some (Array.copy b.(j).view)
+              | Some _ -> ()
+            end
+            else moved.(j) <- moved.(j) + 1)
+        a;
+      match !borrowed with Some view -> view | None -> attempt ()
+    end
+  in
+  attempt ()
+
+let scan t = scan_internal t
+
+let update t ~proc v =
+  if proc < 1 || proc > t.n then invalid_arg "Snapshot_alg.update";
+  let view = scan_internal t in
+  let current = Register.read t.segments.(proc - 1) in
+  Register.write
+    t.segments.(proc - 1)
+    { value = v; seq = current.seq + 1; view }

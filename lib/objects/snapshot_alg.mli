@@ -1,0 +1,36 @@
+(** A wait-free atomic snapshot built from single-writer registers
+    (Afek, Attiya, Dolev, Gafni, Merritt & Shavit, JACM 1993).
+
+    The paper's Algorithm 1 assumes an atomic snapshot object [R] as a
+    base object.  {!Slx_base_objects.Snapshot} provides that assumption
+    directly (one atomic step per [scan]); this module discharges it:
+    the same interface implemented from read/write registers only, with
+    [scan] and [update] taking many steps but remaining wait-free and
+    linearizable.
+
+    The construction is the classical unbounded-timestamp one: each
+    segment register holds [(value, seq, view)] where [view] is a full
+    snapshot embedded by the writer.  A scanner double-collects; if two
+    collects agree on every sequence number, the second collect is a
+    valid snapshot (it was atomic between the collects); otherwise some
+    writer moved — and a writer seen moving {e twice} wrote its
+    embedded view entirely within the scanner's interval, so that view
+    can be borrowed.  At most [n] moves can happen before some writer
+    moves twice, bounding the loop: wait-freedom.
+
+    [I12_reg] uses this to re-run the paper's Lemma 5.4 experiments
+    with the snapshot assumption discharged (DESIGN.md substitution
+    table). *)
+
+type 'a t
+
+val make : n:int -> 'a -> 'a t
+(** Segments [1..n], all initialized to the given value. *)
+
+val update : 'a t -> proc:Slx_history.Proc.t -> 'a -> unit
+(** [update s ~proc v] writes [v] into [proc]'s segment.  Wait-free;
+    O(n) atomic steps (it embeds a scan). *)
+
+val scan : 'a t -> 'a array
+(** A linearizable snapshot of all segments (index [p - 1] for process
+    [p]).  Wait-free; O(n²) atomic steps worst case. *)

@@ -1,0 +1,42 @@
+type invocation = Update of int * int | Scan
+
+type response = Ok | View of int list
+
+let make ~n : (module Slx_history.Object_type.S
+    with type state = int list
+     and type invocation = invocation
+     and type response = response) =
+  (module struct
+    type state = int list
+    type nonrec invocation = invocation
+    type nonrec response = response
+
+    let name = Printf.sprintf "snapshot-%d" n
+    let initial = List.init n (fun _ -> 0)
+
+    let seq inv st =
+      match inv with
+      | Scan -> [ (st, View st) ]
+      | Update (i, v) ->
+          if i < 1 || i > n then []
+          else [ (List.mapi (fun j x -> if j = i - 1 then v else x) st, Ok) ]
+
+    let good (_ : response) = true
+    let equal_state = List.equal Int.equal
+    let equal_invocation (a : invocation) b = a = b
+    let equal_response (a : response) b = a = b
+
+    let pp_state fmt st =
+      Format.fprintf fmt "[%s]"
+        (String.concat ";" (List.map string_of_int st))
+
+    let pp_invocation fmt = function
+      | Scan -> Format.pp_print_string fmt "scan"
+      | Update (i, v) -> Format.fprintf fmt "update(%d,%d)" i v
+
+    let pp_response fmt = function
+      | Ok -> Format.pp_print_string fmt "ok"
+      | View st ->
+          Format.fprintf fmt "view[%s]"
+            (String.concat ";" (List.map string_of_int st))
+  end)

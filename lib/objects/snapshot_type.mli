@@ -1,0 +1,17 @@
+(** The atomic-snapshot object type, for checking the register-based
+    construction ({!Snapshot_alg}) linearizable.
+
+    An invocation [Update (i, v)] writes [v] into segment [i] (callers
+    use their own process id as [i], matching the single-writer
+    discipline); [Scan] returns all segments.  Every response is good:
+    snapshots have no abort-like responses. *)
+
+type invocation = Update of int * int | Scan
+
+type response = Ok | View of int list
+
+val make : n:int -> (module Slx_history.Object_type.S
+    with type state = int list
+     and type invocation = invocation
+     and type response = response)
+(** The object type for a system of [n] segments (all initially 0). *)

@@ -1,0 +1,18 @@
+(** The LIFO stack object type: a richer sequential specification for
+    exercising the linearizability checker beyond registers. *)
+
+type invocation = Push of int | Pop
+
+type response = Pushed | Popped of int | Empty
+
+include
+  Slx_history.Object_type.S
+    with type state = int list
+     and type invocation := invocation
+     and type response := response
+
+module Self :
+  Slx_history.Object_type.S
+    with type state = int list
+     and type invocation = invocation
+     and type response = response

@@ -1,0 +1,25 @@
+open Slx_base_objects
+
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n:_ ->
+  let head = Cas.make ([] : int list) in
+  fun ~proc:_ inv ->
+    match inv with
+    | Stack_type.Push v ->
+        let rec attempt () =
+          let cur = Cas.read head in
+          if Cas.compare_and_swap head ~expected:cur ~desired:(v :: cur) then
+            Stack_type.Pushed
+          else attempt ()
+        in
+        attempt ()
+    | Stack_type.Pop ->
+        let rec attempt () =
+          match Cas.read head with
+          | [] -> Stack_type.Empty
+          | x :: rest ->
+              if Cas.compare_and_swap head ~expected:(x :: rest) ~desired:rest
+              then Stack_type.Popped x
+              else attempt ()
+        in
+        attempt ()

@@ -1,0 +1,12 @@
+(** Treiber's lock-free stack from compare-and-swap.
+
+    Push and pop retry a CAS on the whole stack value until they win;
+    a failed CAS means another operation succeeded, so the
+    implementation is lock-free — (1,n)-free in (l,k) terms — and
+    linearizable at the successful CAS (or the empty-read).  Used by
+    the tests to exercise the linearizability checker on a deeper
+    specification and by the liveness suites as another (1,n)-freedom
+    witness. *)
+
+val factory :
+  unit -> (Stack_type.invocation, Stack_type.response) Slx_sim.Runner.factory

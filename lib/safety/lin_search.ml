@@ -1,0 +1,62 @@
+open Slx_history
+
+module Make (Tp : Object_type.S) = struct
+  type op = (Tp.invocation, Tp.response) Op.t
+
+  let search ~precedes ops =
+    let ops = Array.of_list ops in
+    let count = Array.length ops in
+    if count > 62 then
+      invalid_arg "Lin_search: too many operations for bitmask search";
+    let full_complete =
+      (* Bitmask of operations that must be linearized. *)
+      let mask = ref 0 in
+      Array.iteri
+        (fun i op -> if Op.is_complete op then mask := !mask lor (1 lsl i))
+        ops;
+      !mask
+    in
+    let visited : (int * Tp.state, unit) Hashtbl.t = Hashtbl.create 256 in
+    (* An op is ready when all its predecessors are already placed. *)
+    let ready placed i =
+      placed land (1 lsl i) = 0
+      && Array.for_all
+           (fun j ->
+             let dep = precedes ops.(j) ops.(i) in
+             (not dep) || placed land (1 lsl j) <> 0)
+           (Array.init count (fun j -> j))
+    in
+    let rec go placed state acc =
+      if placed land full_complete = full_complete then
+        (* All completed operations are placed; pending ones may be
+           dropped.  Success. *)
+        Some (List.rev acc)
+      else if Hashtbl.mem visited (placed, state) then None
+      else begin
+        Hashtbl.add visited (placed, state) ();
+        let try_op i =
+          if not (ready placed i) then None
+          else
+            let op = ops.(i) in
+            let candidates = Tp.seq op.Op.inv state in
+            let matching =
+              match op.Op.res with
+              | Some res ->
+                  List.filter
+                    (fun (_, res') -> Tp.equal_response res res')
+                    candidates
+              | None -> candidates
+            in
+            List.find_map
+              (fun (state', res) ->
+                go
+                  (placed lor (1 lsl i))
+                  state'
+                  ((op.Op.proc, op.Op.inv, res) :: acc))
+              matching
+        in
+        List.find_map try_op (List.init count (fun i -> i))
+      end
+    in
+    go 0 Tp.initial []
+end

@@ -1,0 +1,34 @@
+(** The shared search engine behind the linearizability and sequential
+    consistency checkers.
+
+    Both properties ask for a legal sequential ordering of a history's
+    operations; they differ only in which precedence order the
+    sequential history must respect (real-time order for
+    linearizability, per-process program order for sequential
+    consistency).  The engine performs the classical Wing–Gong
+    exhaustive search with memoization on (linearized-set, object
+    state): an operation may be placed next iff every operation that
+    precedes it has already been placed and the object's sequential
+    specification admits its recorded response.
+
+    Pending operations (no response in the history) may either take
+    effect — with any response the specification allows — or be dropped
+    entirely. *)
+
+open Slx_history
+
+module Make (Tp : Object_type.S) : sig
+  type op = (Tp.invocation, Tp.response) Op.t
+
+  val search :
+    precedes:(op -> op -> bool) ->
+    op list ->
+    (Proc.t * Tp.invocation * Tp.response) list option
+  (** [search ~precedes ops] is [Some s] where [s] is a legal
+      sequential execution of the completed operations of [ops]
+      (pending ones optionally included), respecting [precedes]; or
+      [None] if none exists.
+
+      Complexity is O(2^|ops| · |states|) in the worst case; intended
+      for the short histories produced by bounded runs. *)
+end

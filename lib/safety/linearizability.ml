@@ -1,0 +1,12 @@
+open Slx_history
+
+module Make (Tp : Object_type.S) = struct
+  module Search = Lin_search.Make (Tp)
+
+  let witness h = Search.search ~precedes:Op.precedes (Op.of_history h)
+
+  let check h = Option.is_some (witness h)
+
+  let property =
+    Property.make ~name:(Printf.sprintf "linearizability(%s)" Tp.name) check
+end

@@ -1,0 +1,27 @@
+(** Linearizability (Herlihy & Wing), the canonical safety property of
+    shared objects — cited in Section 3.1 of the paper as a prime
+    example of a safety property.
+
+    A history is linearizable iff its completed operations (plus,
+    optionally, some pending ones) can be ordered into a legal
+    sequential execution that respects real-time precedence: if [o1]
+    completes before [o2] is invoked, [o1] must appear before [o2]. *)
+
+open Slx_history
+
+module Make (Tp : Object_type.S) : sig
+  val check : (Tp.invocation, Tp.response) History.t -> bool
+  (** Whether the history is linearizable w.r.t. [Tp]'s sequential
+      specification. *)
+
+  val witness :
+    (Tp.invocation, Tp.response) History.t ->
+    (Proc.t * Tp.invocation * Tp.response) list option
+  (** A linearization order, if one exists. *)
+
+  val property : (Tp.invocation, Tp.response) History.t Property.t
+  (** The property as a first-class value, named
+      ["linearizability(<Tp.name>)"].  Prefix-closed by the classical
+      argument (removing the last event cannot invalidate a
+      linearization witness). *)
+end

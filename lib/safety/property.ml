@@ -1,0 +1,18 @@
+open Slx_history
+
+type 'h t = { name : string; check : 'h -> bool }
+
+let make ~name check = { name; check }
+
+let name s = s.name
+
+let holds s h = s.check h
+
+let conj ~name s1 s2 = { name; check = (fun h -> s1.check h && s2.check h) }
+
+let restrict ~name f s = { name; check = (fun h -> s.check h && f h) }
+
+let is_prefix_closed_on s h =
+  (not (s.check h)) || List.for_all s.check (History.prefixes h)
+
+let holds_on_all_prefixes s h = List.for_all s.check (History.prefixes h)

@@ -1,0 +1,41 @@
+(** Safety properties as first-class values.
+
+    Definition 3.1 of the paper: a safety property is a non-empty,
+    prefix-closed and limit-closed set of well-formed histories.  On
+    finite histories — the only ones a checker ever sees — a safety
+    property is fully determined by its finite members, and
+    limit-closure is automatic.  We therefore represent a safety
+    property by a decidable membership predicate, with prefix-closure
+    as a stated contract that {!is_prefix_closed_on} can test on any
+    sample (the test suites do this with generated histories). *)
+
+open Slx_history
+
+type 'h t = private { name : string; check : 'h -> bool }
+(** A property over histories of type ['h].  [check h] decides
+    [h ∈ S]. *)
+
+val make : name:string -> ('h -> bool) -> 'h t
+
+val name : 'h t -> string
+
+val holds : 'h t -> 'h -> bool
+(** [holds s h] is [h ∈ S]. *)
+
+val conj : name:string -> 'h t -> 'h t -> 'h t
+(** Intersection of two properties (e.g. the property [S'] of Section
+    5.3 is [opacity ∧ timestamp-rule]). *)
+
+val restrict : name:string -> ('h -> bool) -> 'h t -> 'h t
+(** [restrict ~name f s] is [s] strengthened by the predicate [f]. *)
+
+val is_prefix_closed_on : ('i, 'r) History.t t -> ('i, 'r) History.t -> bool
+(** [is_prefix_closed_on s h] checks the prefix-closure contract at
+    sample [h]: if [h ∈ S] then every prefix of [h] is in [S].
+    (Vacuously true when [h ∉ S].) *)
+
+val holds_on_all_prefixes : ('i, 'r) History.t t -> ('i, 'r) History.t -> bool
+(** [holds_on_all_prefixes s h]: every prefix of [h] (including [h])
+    is in [S].  For properties defined prefix-wise — like opacity,
+    whose Section 4.1 definition quantifies over “every finite prefix”
+    — this is the top-level check. *)

@@ -1,0 +1,44 @@
+open Slx_history
+
+module Make (Tp : Object_type.S) = struct
+  module Search = Lin_search.Make (Tp)
+
+  (* Quiescent points of a history: event indices [i] such that every
+     operation invoked before [i] has responded before [i].  An
+     operation [o1] precedes [o2] iff some quiescent point separates
+     o1's response from o2's invocation. *)
+  let quiescent_points h =
+    let events = History.to_list h in
+    let len = List.length events in
+    (* pending_before.(i) = number of operations pending just before
+       event i. *)
+    let points = ref [] in
+    let pending = ref 0 in
+    List.iteri
+      (fun i e ->
+        if !pending = 0 then points := i :: !points;
+        (match e with
+        | Event.Invocation _ -> incr pending
+        | Event.Response _ -> decr pending
+        | Event.Crash _ -> ()))
+      events;
+    if !pending = 0 then points := len :: !points;
+    !points
+
+  let precedes_via_quiescence points o1 o2 =
+    match o1.Op.res_index with
+    | None -> false
+    | Some r1 ->
+        List.exists (fun q -> r1 < q && q <= o2.Op.inv_index) points
+
+  let witness h =
+    let points = quiescent_points h in
+    Search.search ~precedes:(precedes_via_quiescence points) (Op.of_history h)
+
+  let check h = Option.is_some (witness h)
+
+  let property =
+    Property.make
+      ~name:(Printf.sprintf "quiescent-consistency(%s)" Tp.name)
+      check
+end

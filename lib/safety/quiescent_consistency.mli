@@ -1,0 +1,23 @@
+(** Quiescent consistency: the third classical consistency condition,
+    completing the checker family (linearizability preserves real-time
+    order, sequential consistency preserves program order, quiescent
+    consistency preserves order across quiescent points).
+
+    An operation [o1] must precede [o2] in the witness order iff [o1]
+    completes before some {e quiescent point} — an instant with no
+    pending operation — that itself precedes [o2]'s invocation.
+    Program order is NOT preserved, so quiescent consistency and
+    sequential consistency are incomparable (the test suite exhibits
+    both separations). *)
+
+open Slx_history
+
+module Make (Tp : Object_type.S) : sig
+  val check : (Tp.invocation, Tp.response) History.t -> bool
+
+  val witness :
+    (Tp.invocation, Tp.response) History.t ->
+    (Proc.t * Tp.invocation * Tp.response) list option
+
+  val property : (Tp.invocation, Tp.response) History.t Property.t
+end

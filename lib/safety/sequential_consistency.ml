@@ -1,0 +1,19 @@
+open Slx_history
+
+module Make (Tp : Object_type.S) = struct
+  module Search = Lin_search.Make (Tp)
+
+  (* Program order: [o1] precedes [o2] iff they belong to the same
+     process and [o1] was invoked first. *)
+  let program_order o1 o2 =
+    Proc.equal o1.Op.proc o2.Op.proc && o1.Op.inv_index < o2.Op.inv_index
+
+  let witness h = Search.search ~precedes:program_order (Op.of_history h)
+
+  let check h = Option.is_some (witness h)
+
+  let property =
+    Property.make
+      ~name:(Printf.sprintf "sequential-consistency(%s)" Tp.name)
+      check
+end

@@ -1,0 +1,19 @@
+(** Sequential consistency: like linearizability but requiring only
+    per-process program order to be preserved, not real-time order.
+
+    Included as a test foil: histories that are sequentially consistent
+    but not linearizable exercise the checkers' difference, and the
+    property-based suites assert [linearizable ⊆ sequentially
+    consistent]. *)
+
+open Slx_history
+
+module Make (Tp : Object_type.S) : sig
+  val check : (Tp.invocation, Tp.response) History.t -> bool
+
+  val witness :
+    (Tp.invocation, Tp.response) History.t ->
+    (Proc.t * Tp.invocation * Tp.response) list option
+
+  val property : (Tp.invocation, Tp.response) History.t Property.t
+end

@@ -1,0 +1,63 @@
+open Slx_history
+
+type ('inv, 'res) t = {
+  n : int;
+  history : ('inv, 'res) History.t;
+  event_times : int array;
+  grants : (int * Proc.t) list;
+  crashed : Proc.Set.t;
+  total_time : int;
+  window : int;
+  stopped : [ `Driver_stop | `Max_steps | `Quiescent ];
+}
+
+let window_start r = max 0 (r.total_time - r.window)
+
+let in_window r t = t >= window_start r && t < r.total_time
+
+let steps_total r p =
+  List.fold_left
+    (fun acc (_, q) -> if Proc.equal p q then acc + 1 else acc)
+    0 r.grants
+
+let steps_in_window r p =
+  List.fold_left
+    (fun acc (t, q) ->
+      if Proc.equal p q && in_window r t then acc + 1 else acc)
+    0 r.grants
+
+let active_procs r =
+  List.fold_left
+    (fun acc (t, q) -> if in_window r t then Proc.Set.add q acc else acc)
+    Proc.Set.empty r.grants
+
+let correct_procs r =
+  Proc.Set.diff (Proc.Set.of_list (Proc.all ~n:r.n)) r.crashed
+
+let responses_in_window r p =
+  let events = History.to_list r.history in
+  List.filteri (fun i _ -> in_window r r.event_times.(i)) events
+  |> List.filter_map (fun e ->
+         if Proc.equal (Event.proc e) p then Event.response e else None)
+
+let makes_progress ~good r p =
+  List.exists good (responses_in_window r p)
+
+let pp ~pp_inv ~pp_res fmt r =
+  let pp_steps fmt p =
+    Format.fprintf fmt "%a:%d/%d" Proc.pp p (steps_in_window r p)
+      (steps_total r p)
+  in
+  Format.fprintf fmt
+    "@[<v>history: %a@,steps (window/total): %a@,crashed: %a@,time: %d  \
+     window: %d  stopped: %s@]"
+    (History.pp ~pp_inv ~pp_res)
+    r.history
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "  ")
+       pp_steps)
+    (Proc.all ~n:r.n) Proc.pp_set r.crashed r.total_time r.window
+    (match r.stopped with
+    | `Driver_stop -> "driver"
+    | `Max_steps -> "budget"
+    | `Quiescent -> "quiescent")

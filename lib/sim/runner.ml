@@ -1,0 +1,80 @@
+open Slx_history
+
+type ('inv, 'res) impl = proc:Proc.t -> 'inv -> 'res
+type ('inv, 'res) factory = n:int -> ('inv, 'res) impl
+
+let run ~n ~factory ~driver ~max_steps ?window () =
+  let window = Option.value window ~default:(max_steps / 2) in
+  let impl = factory ~n in
+  let cells = Array.init (n + 1) (fun _ -> Runtime.make_cell ()) in
+  let cell p =
+    if not (Proc.is_valid ~n p) then invalid_arg "Runner: bad process id";
+    cells.(p)
+  in
+  let history = ref History.empty in
+  let rev_event_times = ref [] in
+  let time = ref 0 in
+  let record e =
+    history := History.append !history e;
+    rev_event_times := !time :: !rev_event_times
+  in
+  let rev_grants = ref [] in
+  let step_counts = Array.make (n + 1) 0 in
+  let crashed = ref Proc.Set.empty in
+  let view () : _ Driver.view =
+    {
+      Driver.time = !time;
+      n;
+      history = !history;
+      status = (fun p -> Runtime.status (cell p));
+      steps = (fun p -> step_counts.(p));
+    }
+  in
+  let apply = function
+    | Driver.Schedule p ->
+        rev_grants := (!time, p) :: !rev_grants;
+        step_counts.(p) <- step_counts.(p) + 1;
+        Runtime.grant (cell p)
+    | Driver.Invoke (p, inv) ->
+        record (Event.Invocation (p, inv));
+        Runtime.spawn (cell p) (fun () ->
+            let res = impl ~proc:p inv in
+            record (Event.Response (p, res)))
+    | Driver.Crash p ->
+        if Proc.Set.mem p !crashed then
+          invalid_arg "Runner: crashing a crashed process";
+        crashed := Proc.Set.add p !crashed;
+        record (Event.Crash p);
+        Runtime.crash (cell p)
+    | Driver.Stop -> assert false
+  in
+  let stopped = ref `Max_steps in
+  (try
+     while !time < max_steps do
+       match driver (view ()) with
+       | Driver.Stop ->
+           let quiescent =
+             List.for_all
+               (fun p -> Runtime.status (cell p) <> Runtime.Ready)
+               (Proc.all ~n)
+           in
+           stopped := (if quiescent then `Quiescent else `Driver_stop);
+           raise Exit
+       | d ->
+           apply d;
+           incr time
+     done
+   with Exit -> ());
+  {
+    Run_report.n;
+    history = !history;
+    event_times = Array.of_list (List.rev !rev_event_times);
+    grants = List.rev !rev_grants;
+    crashed = !crashed;
+    total_time = !time;
+    window;
+    stopped = !stopped;
+  }
+
+let history ~n ~factory ~driver ~max_steps =
+  (run ~n ~factory ~driver ~max_steps ()).Run_report.history

@@ -1,0 +1,48 @@
+(** Executing an implementation under a driver.
+
+    This is the composition [A_I1 x ... x A_In x A_B] of the paper made
+    executable: [n] process algorithms sharing base objects, stepped
+    one atomic action at a time by a driver. *)
+
+open Slx_history
+
+type ('inv, 'res) impl = proc:Proc.t -> 'inv -> 'res
+(** An implementation: the algorithm run by process [proc] when it
+    invokes [inv].  The body may call base-object primitives (which use
+    {!Runtime.atomic}) any number of times, including zero, and may
+    loop forever — the step budget bounds the run, not the algorithm.
+
+    A fresh set of base objects must be created per run; implementations
+    are therefore supplied as {e factories} to {!run}. *)
+
+type ('inv, 'res) factory = n:int -> ('inv, 'res) impl
+(** Creates a fresh instance of the implementation (fresh base objects,
+    fresh per-process local state) for a system of [n] processes. *)
+
+val run :
+  n:int ->
+  factory:('inv, 'res) factory ->
+  driver:('inv, 'res) Driver.t ->
+  max_steps:int ->
+  ?window:int ->
+  unit ->
+  ('inv, 'res) Run_report.t
+(** [run ~n ~factory ~driver ~max_steps ()] plays [driver] against a
+    fresh instance of the implementation for at most [max_steps]
+    scheduler ticks and returns the {!Run_report}.
+
+    [window] (default [max_steps / 2]) is the observation-window length
+    recorded in the report.
+
+    Driver decisions are validated: scheduling a non-ready process,
+    invoking a non-idle or crashed process, or crashing an
+    already-crashed process raise [Invalid_argument] — drivers must
+    consult the view. *)
+
+val history :
+  n:int ->
+  factory:('inv, 'res) factory ->
+  driver:('inv, 'res) Driver.t ->
+  max_steps:int ->
+  ('inv, 'res) History.t
+(** Convenience: just the history of such a run. *)

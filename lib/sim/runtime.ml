@@ -1,0 +1,79 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Atomic : (unit -> 'a) -> 'a Effect.t
+
+let atomic f = perform (Atomic f)
+
+exception Killed
+
+type status = Idle | Ready | Crashed
+
+(* A suspended process is a pair of one-shot closures sharing a [used]
+   flag: [resume] executes the pending atomic action and runs to the
+   next suspension point; [kill] unwinds the computation with
+   [Killed]. *)
+type suspended = { resume : unit -> unit; kill : unit -> unit }
+
+type slot = S_idle | S_ready of suspended | S_crashed
+
+type cell = { mutable slot : slot }
+
+let make_cell () = { slot = S_idle }
+
+let status cell =
+  match cell.slot with
+  | S_idle -> Idle
+  | S_ready _ -> Ready
+  | S_crashed -> Crashed
+
+let handler cell =
+  {
+    retc = (fun () -> cell.slot <- S_idle);
+    exnc =
+      (fun e ->
+        match e with Killed -> cell.slot <- S_crashed | e -> raise e);
+    effc =
+      (fun (type b) (eff : b Effect.t) ->
+        match eff with
+        | Atomic f ->
+            Some
+              (fun (k : (b, unit) continuation) ->
+                let used = ref false in
+                let resume () =
+                  if !used then invalid_arg "Runtime: continuation reused";
+                  used := true;
+                  continue k (f ())
+                in
+                let kill () =
+                  if not !used then begin
+                    used := true;
+                    try discontinue k Killed with Killed -> ()
+                  end
+                in
+                cell.slot <- S_ready { resume; kill })
+        | _ -> None);
+  }
+
+let spawn cell comp =
+  match cell.slot with
+  | S_idle -> match_with comp () (handler cell)
+  | S_ready _ | S_crashed -> invalid_arg "Runtime.spawn: process not idle"
+
+let grant cell =
+  match cell.slot with
+  | S_ready s ->
+      (* The suspension will be replaced by the handler when the
+         computation next suspends (or by [retc]/[exnc] when it
+         finishes), so clear it first to catch reentrancy bugs. *)
+      cell.slot <- S_idle;
+      s.resume ()
+  | S_idle | S_crashed -> invalid_arg "Runtime.grant: process not ready"
+
+let crash cell =
+  match cell.slot with
+  | S_ready s ->
+      cell.slot <- S_crashed;
+      s.kill ()
+  | S_idle -> cell.slot <- S_crashed
+  | S_crashed -> ()

@@ -1,0 +1,61 @@
+(** The cooperative shared-memory runtime.
+
+    Implementations of shared objects (Section 2 of the paper) are sets
+    of per-process algorithms that interact only through atomic
+    primitives on base objects.  In this runtime an algorithm is
+    ordinary OCaml code; every base-object access is wrapped in
+    {!atomic}, which performs an OCaml effect.  The scheduler (the
+    {!Runner}) traps the effect, suspends the process, and later
+    resumes it — one base-object access per scheduling step, exactly
+    the asynchronous step semantics of the paper.
+
+    Algorithms must never share mutable state except through {!atomic};
+    the base objects of {!Slx_base_objects} obey this contract. *)
+
+val atomic : (unit -> 'a) -> 'a
+(** [atomic f] performs one atomic step on shared memory: it suspends
+    the calling process until the scheduler grants it a step, then runs
+    [f] (which should be a single base-object primitive) and resumes
+    with its result.
+
+    Must be called from code running under {!spawn}; otherwise raises
+    [Effect.Unhandled]. *)
+
+exception Killed
+(** Raised inside a process's computation when the process is crashed
+    by the scheduler, to unwind its stack.  Algorithms must not catch
+    it (a [try ... with _ ->] in algorithm code would swallow crashes;
+    use specific exception handlers instead). *)
+
+(** The scheduling status of a process. *)
+type status =
+  | Idle     (** No operation in progress. *)
+  | Ready    (** Suspended at an atomic step, waiting for a grant. *)
+  | Crashed  (** Crashed; will never take another step. *)
+
+(** A handle on one process's suspended computation. *)
+type cell
+
+val make_cell : unit -> cell
+(** A fresh cell, initially [Idle]. *)
+
+val status : cell -> status
+
+val spawn : cell -> (unit -> unit) -> unit
+(** [spawn cell comp] starts computation [comp] for the process owning
+    [cell].  [comp] runs immediately up to its first {!atomic} call (or
+    to completion if it makes none); the cell becomes [Ready] (or
+    [Idle] on completion).
+
+    @raise Invalid_argument if the cell is not [Idle]. *)
+
+val grant : cell -> unit
+(** [grant cell] lets the suspended process execute its pending atomic
+    action and run to its next {!atomic} call (or to completion).
+
+    @raise Invalid_argument if the cell is not [Ready]. *)
+
+val crash : cell -> unit
+(** [crash cell] crashes the process: its computation is unwound with
+    {!Killed} and the cell becomes [Crashed].  Idempotent on crashed
+    cells; legal on idle cells (the process just never steps again). *)

@@ -1,0 +1,14 @@
+(** Algorithm AGP (Guerraoui–Kapalka): the lock-free versioned-CAS TM.
+
+    [I(1,2)] without the timestamp rule: a single compare-and-swap
+    object holds a version number and all variable values; a
+    transaction copies it at [start], works locally, and commits by
+    CASing in the next version.  A failed CAS means some other
+    transaction committed — so commits never stop system-wide, giving
+    (1,n)-freedom (lock-freedom in commits), the strongest
+    (l,k)-freedom property implementable with opacity (Theorem 5.3,
+    positive half, via [Fraser 2003] / [Guerraoui–Kapalka 2010]). *)
+
+val factory :
+  vars:int ->
+  (Tm_type.invocation, Tm_type.response) Slx_sim.Runner.factory

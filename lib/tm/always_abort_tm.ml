@@ -1,0 +1,2 @@
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n:_ ~proc:_ (_ : Tm_type.invocation) -> Tm_type.Aborted

@@ -1,0 +1,13 @@
+(** The trivial TM: every transaction is aborted at [start].
+
+    “In TM implementations requiring that each operation returns a
+    response is not enough because such requirement can be trivially
+    ensured simply by aborting every transaction.” (Section 4.1.)
+    This implementation is that triviality: it ensures opacity (and
+    [S']) and answers every operation immediately, yet makes no
+    progress at all under the TM notion of good responses — the test
+    suites use it to confirm that [GTp = {C}] is what gives the TM
+    liveness properties their teeth. *)
+
+val factory :
+  unit -> (Tm_type.invocation, Tm_type.response) Slx_sim.Runner.factory

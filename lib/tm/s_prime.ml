@@ -1,0 +1,70 @@
+(* Enumerate the sub-lists (subsets, order preserved) of a list. *)
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let tails = subsets rest in
+      List.map (fun s -> x :: s) tails @ tails
+
+(* The group [g] triggers the rule: pairwise concurrent, and each
+   member invoked tryC after >= 2 other members' start responses. *)
+let triggers g =
+  let pairwise_concurrent =
+    List.for_all
+      (fun t1 ->
+        List.for_all
+          (fun t2 -> t1 == t2 || Transaction.concurrent t1 t2)
+          g)
+      g
+  in
+  let late_tryc t =
+    match t.Transaction.tryc_inv with
+    | None -> false
+    | Some tc ->
+        let earlier_starts =
+          List.filter
+            (fun t' ->
+              t' != t
+              &&
+              match t'.Transaction.start_res with
+              | Some s -> s < tc
+              | None -> false)
+            g
+        in
+        List.length earlier_starts >= 2
+  in
+  pairwise_concurrent && List.for_all late_tryc g
+
+let forbidden_groups h =
+  let txns = Transaction.of_history h in
+  (* Group by per-process transaction index. *)
+  let by_index = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      let group =
+        Option.value (Hashtbl.find_opt by_index t.Transaction.index) ~default:[]
+      in
+      Hashtbl.replace by_index t.Transaction.index (t :: group))
+    txns;
+  Hashtbl.fold
+    (fun _ group acc ->
+      let candidates =
+        List.filter (fun s -> List.length s >= 3) (subsets group)
+      in
+      List.filter triggers candidates @ acc)
+    by_index []
+
+let violating_groups h =
+  List.filter
+    (fun g ->
+      List.exists
+        (fun t -> t.Transaction.status = Transaction.Committed)
+        g)
+    (forbidden_groups h)
+
+let timestamp_rule h = violating_groups h = []
+
+let check h = Opacity.check h && timestamp_rule h
+
+let check_final h = Opacity.check_final h && timestamp_rule h
+
+let property = Slx_safety.Property.make ~name:"S-prime" check

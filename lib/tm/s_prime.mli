@@ -1,0 +1,35 @@
+(** The counterexample safety property [S'] of Section 5.3.
+
+    A TM history [h] ensures [S'] iff:
+    + [h] ensures opacity, and
+    + for any three (or more) concurrent transactions [T1, T2, T3, ...]
+      executed by {e different} processes, if (1) there is a [t] such
+      that each [Ti] is the [t]-th transaction of its process, and (2)
+      each [Ti] invokes [tryC] after at least two {e other}
+      transactions of the group received their [start] responses, then
+      all of [T1, T2, T3, ...] must be aborted.
+
+    [S'] is the paper's witness that (l,k)-freedom has limits: both
+    (2,2)- and (1,3)-freedom exclude [S'], yet (1,2)-freedom — weaker
+    than both, and their unique lower bound among candidates — does
+    not (Algorithm [I(1,2)] implements it, Lemma 5.4).  Hence no
+    weakest (l,k)-freedom property excluding [S'] exists. *)
+
+val timestamp_rule : Tm_type.history -> bool
+(** Condition 2 alone: no forbidden group has a committed member. *)
+
+val violating_groups : Tm_type.history -> Transaction.t list list
+(** The groups that trigger the rule and contain a committed
+    transaction — empty iff {!timestamp_rule} holds.  For diagnostics
+    and tests. *)
+
+val check : Tm_type.history -> bool
+(** [S' = opacity ∧ timestamp_rule] (opacity in its prefix-quantified
+    form). *)
+
+val check_final : Tm_type.history -> bool
+(** [S'] with final-state opacity — the cheap variant for long
+    histories. *)
+
+val property : Tm_type.history Slx_safety.Property.t
+(** ["S-prime"]. *)

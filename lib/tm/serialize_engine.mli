@@ -1,0 +1,17 @@
+(** The serialization-search engine shared by the TM safety checkers.
+
+    Opacity, strict serializability and serializability all ask for a
+    legal total order on (a subset of) a history's transactions; they
+    differ in which transactions participate and which precedence
+    relation the order must respect.  This module provides the common
+    memoized backtracking search. *)
+
+val search :
+  precedes:(Transaction.t -> Transaction.t -> bool) ->
+  Transaction.t list ->
+  Transaction.t list option
+(** [search ~precedes txns] finds an order of [txns] respecting
+    [precedes] in which every transaction reads consistently with the
+    committed transactions placed before it (deferred-update
+    semantics).  Commit-pending transactions branch over both
+    completions; aborted and live ones never publish writes. *)

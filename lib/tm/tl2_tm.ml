@@ -1,0 +1,93 @@
+open Slx_base_objects
+
+(* The single transactional variable: a versioned value plus a
+   commit-time write lock. *)
+type cell = { version : int; value : int; owner : int option }
+
+type local = {
+  mutable in_txn : bool;
+  mutable rv : int;              (* version observed at start *)
+  mutable read_value : int;      (* cached read, if any *)
+  mutable has_read : bool;
+  mutable write_value : int option;
+}
+
+let factory () : _ Slx_sim.Runner.factory =
+ fun ~n ->
+  let c =
+    Cas.make { version = 1; value = Tm_type.initial_value; owner = None }
+  in
+  let locals =
+    Array.init (n + 1) (fun _ ->
+        {
+          in_txn = false;
+          rv = 0;
+          read_value = 0;
+          has_read = false;
+          write_value = None;
+        })
+  in
+  fun ~proc inv ->
+    let st = locals.(proc) in
+    let abort () =
+      st.in_txn <- false;
+      Tm_type.Aborted
+    in
+    match inv with
+    | Tm_type.Start ->
+        let cur = Cas.read c in
+        st.rv <- cur.version;
+        st.has_read <- false;
+        st.write_value <- None;
+        st.in_txn <- true;
+        Tm_type.Ok
+    | Tm_type.Read x ->
+        if (not st.in_txn) || x <> 0 then abort ()
+        else begin
+          match st.write_value with
+          | Some v -> Tm_type.Val v
+          | None ->
+              let cur = Cas.read c in
+              if cur.owner <> None || cur.version > st.rv then abort ()
+              else begin
+                st.read_value <- cur.value;
+                st.has_read <- true;
+                Tm_type.Val cur.value
+              end
+        end
+    | Tm_type.Write (x, v) ->
+        if (not st.in_txn) || x <> 0 then abort ()
+        else begin
+          st.write_value <- Some v;
+          Tm_type.Ok
+        end
+    | Tm_type.Try_commit ->
+        if not st.in_txn then Tm_type.Aborted
+        else begin
+          st.in_txn <- false;
+          match st.write_value with
+          | None ->
+              (* Read-only: revalidate. *)
+              let cur = Cas.read c in
+              if cur.owner <> None || cur.version > st.rv then Tm_type.Aborted
+              else Tm_type.Committed
+          | Some v ->
+              (* Lock, then publish with a version bump. *)
+              let cur = Cas.read c in
+              if cur.owner <> None || cur.version > st.rv then Tm_type.Aborted
+              else if
+                not
+                  (Cas.compare_and_swap c ~expected:cur
+                     ~desired:{ cur with owner = Some proc })
+              then Tm_type.Aborted
+              else begin
+                let locked = { cur with owner = Some proc } in
+                let published =
+                  Cas.compare_and_swap c ~expected:locked
+                    ~desired:
+                      { version = cur.version + 1; value = v; owner = None }
+                in
+                assert published;
+                Tm_type.Committed
+              end
+        end

@@ -1,0 +1,22 @@
+(** A TL2-style lock-based TM: opaque but {e blocking}.
+
+    All the other TMs here are non-blocking.  This one uses commit-time
+    write locking with a global version clock (in the style of
+    Dice–Shalev–Shavit's TL2): [tryC] CAS-locks its write-set variable,
+    bumps the clock, validates, publishes, unlocks.  Opacity holds
+    (reads validate against the version they started from), but the
+    implementation is {e blocking} in exactly the sense of the paper's
+    footnote — “a non-blocking system is one in which no process [p]
+    can prevent other processes from making progress once [p] crashes”:
+    a process that crashes {e while holding a commit lock} wedges every
+    later transaction on that variable, so even (1,1)-freedom fails in
+    its presence.  The tests and experiment E16 contrast this with AGP,
+    which keeps (1,1)-freedom under the same crash.
+
+    Only one transactional variable is exposed (the single-variable
+    case is all the liveness experiments need; multi-variable TL2 adds
+    only lock-ordering noise). *)
+
+val factory :
+  unit -> (Tm_type.invocation, Tm_type.response) Slx_sim.Runner.factory
+(** A fresh single-variable lock-based TM. *)

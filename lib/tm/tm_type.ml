@@ -1,0 +1,29 @@
+type var = int
+
+type invocation = Start | Read of var | Write of var * int | Try_commit
+
+type response = Ok | Val of int | Committed | Aborted
+
+let good = function Committed -> true | Ok | Val _ | Aborted -> false
+
+let equal_invocation (a : invocation) b = a = b
+let equal_response (a : response) b = a = b
+
+let pp_invocation fmt = function
+  | Start -> Format.pp_print_string fmt "start"
+  | Read x -> Format.fprintf fmt "x%d.read" x
+  | Write (x, v) -> Format.fprintf fmt "x%d.write(%d)" x v
+  | Try_commit -> Format.pp_print_string fmt "tryC"
+
+let pp_response fmt = function
+  | Ok -> Format.pp_print_string fmt "ok"
+  | Val v -> Format.fprintf fmt "v%d" v
+  | Committed -> Format.pp_print_string fmt "C"
+  | Aborted -> Format.pp_print_string fmt "A"
+
+type history = (invocation, response) Slx_history.History.t
+
+let pp_history fmt h =
+  Slx_history.History.pp ~pp_inv:pp_invocation ~pp_res:pp_response fmt h
+
+let initial_value = 0

@@ -1,0 +1,49 @@
+(** The transactional memory object type.
+
+    Processes in a TM implementation can invoke (Section 4.1):
+    - [start]        — start a new transaction; returns [ok] or an
+                       abort event [A];
+    - [x.write(v)]   — write [v] to transactional variable [x];
+                       returns [ok] or [A];
+    - [x.read]       — read a transactional variable; returns a value
+                       [v] or [A];
+    - [tryC]         — request commit; returns a commit event [C] or
+                       [A].
+
+    “In TM implementations requiring that each operation returns a
+    response is not enough […]  To make progress transactions should
+    be able to eventually commit.  Therefore, the set of good events is
+    restricted to commit events.”  Hence [good] accepts only
+    {!response.Committed}. *)
+
+type var = int
+(** A transactional variable, identified by a small integer. *)
+
+type invocation =
+  | Start               (** [start()]: begin a transaction. *)
+  | Read of var         (** [x.read()]. *)
+  | Write of var * int  (** [x.write(v)]. *)
+  | Try_commit          (** [tryC()]. *)
+
+type response =
+  | Ok           (** [ok]: a successful start or write. *)
+  | Val of int   (** A value returned by a read. *)
+  | Committed    (** The commit event [C]. *)
+  | Aborted      (** The abort event [A] — may answer any operation. *)
+
+val good : response -> bool
+(** [GTp = {C}]: only commits are progress. *)
+
+val equal_invocation : invocation -> invocation -> bool
+val equal_response : response -> response -> bool
+
+val pp_invocation : Format.formatter -> invocation -> unit
+val pp_response : Format.formatter -> response -> unit
+
+type history = (invocation, response) Slx_history.History.t
+(** TM histories. *)
+
+val pp_history : Format.formatter -> history -> unit
+
+val initial_value : int
+(** All transactional variables start at this value ([0]). *)

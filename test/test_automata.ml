@@ -1,0 +1,159 @@
+open Slx_automata
+open Support
+
+(* A tiny two-state toggle automaton: input "in" flips the state, and
+   the automaton answers with output "out" from state b. *)
+let toggle =
+  Automaton.make ~name:"toggle" ~inputs:[ "in" ] ~outputs:[ "out" ]
+    ~internals:[] ~init:[ State.leaf "a" ]
+    ~delta:(fun s ->
+      if State.equal s (State.leaf "a") then [ ("in", State.leaf "b") ]
+      else if State.equal s (State.leaf "b") then [ ("out", State.leaf "a") ]
+      else [])
+
+(* An environment that emits "in" twice. *)
+let env2 =
+  Automaton.make ~name:"env2" ~inputs:[] ~outputs:[ "in" ] ~internals:[]
+    ~init:[ State.leaf "e0" ]
+    ~delta:(fun s ->
+      if State.equal s (State.leaf "e0") then [ ("in", State.leaf "e1") ]
+      else if State.equal s (State.leaf "e1") then [ ("in", State.leaf "e2") ]
+      else [])
+
+let test_make_validation () =
+  Alcotest.check_raises "overlapping classes rejected"
+    (Invalid_argument "Automaton.make: action classes must be disjoint")
+    (fun () ->
+      ignore
+        (Automaton.make ~name:"bad" ~inputs:[ "x" ] ~outputs:[ "x" ]
+           ~internals:[] ~init:[ State.leaf "s" ] ~delta:(fun _ -> [])))
+
+let test_signature () =
+  check_bool "actions" true
+    (Action.Set.equal (Automaton.actions toggle) (Action.Set.of_list [ "in"; "out" ]));
+  check_bool "external = in + out" true
+    (Action.Set.equal
+       (Automaton.external_actions toggle)
+       (Action.Set.of_list [ "in"; "out" ]));
+  check_bool "enabled at a" true (Automaton.enabled toggle (State.leaf "a") "in");
+  check_bool "not enabled at a" false
+    (Automaton.enabled toggle (State.leaf "a") "out");
+  check_bool "step" true
+    (Automaton.step toggle (State.leaf "a") "in" = [ State.leaf "b" ])
+
+let test_compatibility () =
+  check_bool "toggle compatible with env2" true
+    (Automaton.compatible toggle env2);
+  check_bool "toggle incompatible with itself (shared output)" false
+    (Automaton.compatible toggle toggle);
+  Alcotest.check_raises "compose rejects incompatible"
+    (Invalid_argument "Automaton.compose: toggle and toggle are incompatible")
+    (fun () -> ignore (Automaton.compose toggle toggle))
+
+let test_composition_hiding () =
+  let comp = Automaton.compose toggle env2 in
+  (* "in" is matched input/output: hidden per the paper's footnote. *)
+  check_bool "matched pair becomes internal" true
+    (Action.Set.mem "in" (Automaton.internals comp));
+  check_bool "no inputs remain" true
+    (Action.Set.is_empty (Automaton.inputs comp));
+  check_bool "out remains an output" true
+    (Action.Set.mem "out" (Automaton.outputs comp))
+
+let test_composition_synchronizes () =
+  let comp = Automaton.compose toggle env2 in
+  (* The composition can run: in.out.in.out, with "in" synchronized. *)
+  let traces = Automaton.traces comp ~depth:4 in
+  check_bool "out.out reachable as external trace" true
+    (List.exists (fun tr -> tr = [ "out"; "out" ]) traces);
+  (* env2 only supplies two "in"s: no trace has three "out"s. *)
+  check_bool "no three outs" true
+    (List.for_all
+       (fun tr -> List.length (List.filter (String.equal "out") tr) <= 2)
+       (Automaton.traces comp ~depth:8))
+
+let test_executions_and_fairness () =
+  let execs = Automaton.executions toggle ~depth:2 in
+  (* depth 2: [], [in], [in;out]. *)
+  check_int "three executions" 3 (List.length execs);
+  let final_b =
+    List.find
+      (fun e -> Automaton.final_state e = State.leaf "b")
+      execs
+  in
+  check_bool "b has an enabled output: not fair" false
+    (Automaton.is_fair_finite toggle final_b);
+  let final_a =
+    List.find
+      (fun e ->
+        List.length e.Automaton.actions = 2
+        && Automaton.final_state e = State.leaf "a")
+      execs
+  in
+  (* State a has "in" (an input) enabled, so stopping there is unfair
+     too under the paper's definition. *)
+  check_bool "a has an enabled input: not fair" false
+    (Automaton.is_fair_finite toggle final_a)
+
+let test_reachable () =
+  let r = Automaton.reachable toggle ~depth:3 in
+  check_int "two reachable states" 2 (State.Set.cardinal r);
+  let r0 = Automaton.reachable toggle ~depth:0 in
+  check_int "depth 0: initial only" 1 (State.Set.cardinal r0)
+
+let test_compose_all () =
+  let a = Automaton.compose_all [ toggle; env2 ] in
+  check_bool "same as binary compose" true
+    (Action.Set.equal (Automaton.actions a)
+       (Automaton.actions (Automaton.compose toggle env2)));
+  Alcotest.check_raises "empty list rejected"
+    (Invalid_argument "Automaton.compose_all: empty list") (fun () ->
+      ignore (Automaton.compose_all []))
+
+let test_state_module () =
+  let s = State.pair (State.leaf "x") (State.leaf "y") in
+  check_bool "equal" true (State.equal s (State.pair (State.leaf "x") (State.leaf "y")));
+  check_bool "not equal" false (State.equal s (State.leaf "x"));
+  check_bool "compare total" true (State.compare s (State.leaf "x") <> 0);
+  check_bool "pp" true
+    (Format.asprintf "%a" State.pp s = "(x, y)")
+
+let test_action_helpers () =
+  check_bool "invocation naming" true
+    (Action.invocation ~proc:2 "propose(1)" = "propose(1)_2");
+  check_bool "crash naming" true (Action.crash 3 = "crash_3");
+  check_bool "is_crash" true (Action.is_crash "crash_3");
+  check_bool "is_crash false" false (Action.is_crash "ping_1");
+  check_bool "proc_of" true (Action.proc_of "ping_12" = Some 12);
+  check_bool "proc_of none" true (Action.proc_of "ping" = None)
+
+(* Property: composition is commutative up to signatures and traces. *)
+let prop_compose_commutes =
+  QCheck2.Test.make ~name:"composition commutes on signatures and traces"
+    ~count:1 QCheck2.Gen.unit (fun () ->
+      let c1 = Automaton.compose toggle env2 in
+      let c2 = Automaton.compose env2 toggle in
+      Action.Set.equal (Automaton.internals c1) (Automaton.internals c2)
+      && Action.Set.equal (Automaton.outputs c1) (Automaton.outputs c2)
+      &&
+      let t1 = List.sort compare (Automaton.traces c1 ~depth:4) in
+      let t2 = List.sort compare (Automaton.traces c2 ~depth:4) in
+      t1 = t2)
+
+let suites =
+  [
+    ( "automata",
+      [
+        quick "make validation" test_make_validation;
+        quick "signature" test_signature;
+        quick "compatibility" test_compatibility;
+        quick "composition hiding" test_composition_hiding;
+        quick "composition synchronizes" test_composition_synchronizes;
+        quick "executions and fairness" test_executions_and_fairness;
+        quick "reachable" test_reachable;
+        quick "compose_all" test_compose_all;
+        quick "state module" test_state_module;
+        quick "action helpers" test_action_helpers;
+      ]
+      @ qcheck [ prop_compose_commutes ] );
+  ]

@@ -1,0 +1,188 @@
+(* Differential validation of the two central checkers: the memoized
+   searches (linearizability, opacity) must agree with naive
+   brute-force references on every small instance we can enumerate. *)
+
+open Slx_history
+open Slx_sim
+open Support
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force linearizability: try every permutation of operations.   *)
+
+let permutations xs =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l ->
+        (x :: l) :: List.map (fun l' -> y :: l') (insert x rest)
+  in
+  List.fold_left
+    (fun perms x -> List.concat_map (insert x) perms)
+    [ [] ] xs
+
+(* A permutation witnesses linearizability if it respects real time
+   and replays legally; pending operations may be dropped (checked by
+   trying all subsets of pending ops). *)
+let brute_linearizable (h : (Register_type.invocation, Register_type.response) History.t) =
+  let ops = Op.of_history h in
+  let completed, pending = List.partition Op.is_complete ops in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let tails = subsets rest in
+        List.map (fun s -> x :: s) tails @ tails
+  in
+  let respects_real_time order =
+    let rec go = function
+      | [] -> true
+      | o :: rest ->
+          List.for_all (fun o' -> not (Op.precedes o' o)) rest && go rest
+    in
+    go order
+  in
+  let legal order =
+    let rec go st = function
+      | [] -> true
+      | op :: rest -> begin
+          match Register_type.seq op.Op.inv st with
+          | [ (st', res) ] -> begin
+              match op.Op.res with
+              | Some r -> r = res && go st' rest
+              | None -> go st' rest
+            end
+          | _ -> false
+        end
+    in
+    go Register_type.initial order
+  in
+  List.exists
+    (fun chosen_pending ->
+      List.exists
+        (fun order -> respects_real_time order && legal order)
+        (permutations (completed @ chosen_pending)))
+    (subsets pending)
+
+module Lin = Slx_safety.Linearizability.Make (Register_type)
+
+let prop_lin_matches_brute_force =
+  QCheck2.Test.make ~name:"linearizability search = brute force" ~count:120
+    ~print:register_history_print
+    (well_formed_register_history_gen ~n:3 ~len:8)
+    (fun h ->
+      (* keep the factorial reference feasible *)
+      List.length (Op.of_history h) > 6
+      || Lin.check h = brute_linearizable h)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force opacity: try every transaction permutation and every
+   completion of commit-pending transactions.                          *)
+
+open Slx_tm
+
+let brute_opaque txns =
+  let respects_real_time order =
+    let rec go = function
+      | [] -> true
+      | t :: rest ->
+          List.for_all (fun t' -> not (Transaction.precedes t' t)) rest
+          && go rest
+    in
+    go order
+  in
+  (* completions: a bool per commit-pending transaction. *)
+  let pending =
+    List.filter
+      (fun t -> t.Transaction.status = Transaction.Commit_pending)
+      txns
+  in
+  let rec completion_choices = function
+    | [] -> [ [] ]
+    | t :: rest ->
+        let tails = completion_choices rest in
+        List.concat_map
+          (fun tail -> [ (t, true) :: tail; (t, false) :: tail ])
+          tails
+  in
+  let commits_under choice t =
+    match t.Transaction.status with
+    | Transaction.Committed -> true
+    | Transaction.Aborted | Transaction.Live -> false
+    | Transaction.Commit_pending -> List.assq t choice
+  in
+  let legal choice order =
+    let read store x =
+      Option.value (List.assoc_opt x store) ~default:Tm_type.initial_value
+    in
+    let rec go store = function
+      | [] -> true
+      | t :: rest ->
+          let rec ops local = function
+            | [] -> true
+            | Transaction.Write_op (x, v) :: more -> ops ((x, v) :: local) more
+            | Transaction.Read_op (x, v) :: more ->
+                let expected =
+                  match List.assoc_opt x local with
+                  | Some w -> w
+                  | None -> read store x
+                in
+                v = expected && ops local more
+          in
+          ops [] t.Transaction.ops
+          &&
+          let store' =
+            if commits_under choice t then
+              List.fold_left
+                (fun acc (x, v) -> (x, v) :: List.remove_assoc x acc)
+                store (Transaction.writes t)
+            else store
+          in
+          go store' rest
+    in
+    go [] order
+  in
+  List.exists
+    (fun choice ->
+      List.exists
+        (fun order -> respects_real_time order && legal choice order)
+        (permutations txns))
+    (completion_choices pending)
+
+let prop_opacity_matches_brute_force =
+  QCheck2.Test.make ~name:"opacity search = brute force" ~count:40
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      (* Short real runs of I(1,2) and, mutated, broken variants:
+         randomly flip one response payload to explore the negative
+         side too. *)
+      let r =
+        Runner.run ~n:2 ~factory:(I12.factory ~vars:2)
+          ~driver:(Tm_workload.random ~seed ())
+          ~max_steps:40 ()
+      in
+      let h = r.Run_report.history in
+      let mutate h =
+        (* Flip the value of the first read response, making the
+           history likely non-opaque. *)
+        let flipped = ref false in
+        History.map
+          ~inv:(fun i -> i)
+          ~res:(fun res ->
+            match res with
+            | Tm_type.Val v when not !flipped ->
+                flipped := true;
+                Tm_type.Val (v + 100)
+            | r -> r)
+          h
+      in
+      let agree h =
+        let txns = Transaction.of_history h in
+        List.length txns > 6
+        || Opacity.serializable txns = brute_opaque txns
+      in
+      agree h && agree (mutate h))
+
+let suites =
+  [
+    ( "differential",
+      qcheck [ prop_lin_matches_brute_force; prop_opacity_matches_brute_force ]
+    );
+  ]

@@ -1,0 +1,258 @@
+open Slx_history
+open Slx_safety
+open Support
+
+module Lin = Linearizability.Make (Register_type)
+module Sc = Sequential_consistency.Make (Register_type)
+
+let inv p i = Event.Invocation (p, i)
+let res p r = Event.Response (p, r)
+
+let read = Register_type.Read
+let write v = Register_type.Write v
+let ok = Register_type.Ok
+let value v = Register_type.Val v
+
+let h_of = History.of_list
+
+let test_sequential_history_linearizable () =
+  let h =
+    h_of [ inv 1 (write 1); res 1 ok; inv 2 read; res 2 (value 1) ]
+  in
+  check_bool "sequential legal history" true (Lin.check h);
+  check_bool "witness exists" true (Option.is_some (Lin.witness h))
+
+let test_stale_read_not_linearizable () =
+  (* write(1) completes before the read is invoked, yet the read
+     returns the initial value. *)
+  let h =
+    h_of [ inv 1 (write 1); res 1 ok; inv 2 read; res 2 (value 0) ]
+  in
+  check_bool "stale read rejected" false (Lin.check h)
+
+let test_concurrent_read_both_orders () =
+  (* The read overlaps the write: both val(0) and val(1) are valid. *)
+  let old_value =
+    h_of [ inv 1 (write 1); inv 2 read; res 2 (value 0); res 1 ok ]
+  in
+  let new_value =
+    h_of [ inv 1 (write 1); inv 2 read; res 2 (value 1); res 1 ok ]
+  in
+  check_bool "overlapping read of old value" true (Lin.check old_value);
+  check_bool "overlapping read of new value" true (Lin.check new_value)
+
+let test_pending_write_takes_effect () =
+  (* The write never completes but its value is visible: the checker
+     must be allowed to linearize the pending operation. *)
+  let h = h_of [ inv 1 (write 1); inv 2 read; res 2 (value 1) ] in
+  check_bool "pending write took effect" true (Lin.check h)
+
+let test_pending_write_dropped () =
+  let h = h_of [ inv 1 (write 1); inv 2 read; res 2 (value 0) ] in
+  check_bool "pending write dropped" true (Lin.check h)
+
+let test_impossible_read_value () =
+  let h = h_of [ inv 1 read; res 1 (value 9) ] in
+  check_bool "read of never-written value rejected" false (Lin.check h)
+
+let test_sc_weaker_than_lin () =
+  (* Stale read: not linearizable, but sequentially consistent — the
+     read may be reordered before the write. *)
+  let h =
+    h_of [ inv 1 (write 1); res 1 ok; inv 2 read; res 2 (value 0) ]
+  in
+  check_bool "not linearizable" false (Lin.check h);
+  check_bool "sequentially consistent" true (Sc.check h)
+
+let test_sc_violation () =
+  (* p2 reads 1 then 0 while p1 writes 1 once: no total order respects
+     p2's program order. *)
+  let h =
+    h_of
+      [
+        inv 1 (write 1);
+        res 1 ok;
+        inv 2 read;
+        res 2 (value 1);
+        inv 2 read;
+        res 2 (value 0);
+      ]
+  in
+  check_bool "new-then-old reads rejected" false (Sc.check h);
+  check_bool "a fortiori not linearizable" false (Lin.check h)
+
+let test_crash_leaves_pending () =
+  let h =
+    h_of
+      [ inv 1 (write 1); Event.Crash 1; inv 2 read; res 2 (value 1) ]
+  in
+  check_bool "crashed pending write may take effect" true (Lin.check h)
+
+(* Consensus-type linearizability. *)
+
+module Ctype = Slx_consensus.Consensus_type
+module Clin = Linearizability.Make (Ctype.Self)
+
+let cinv p v = Event.Invocation (p, Ctype.Propose v)
+let cres p v = Event.Response (p, Ctype.Decided v)
+
+let test_consensus_linearizable () =
+  let h = h_of [ cinv 1 0; cinv 2 1; cres 1 0; cres 2 0 ] in
+  check_bool "agreeing on first value" true (Clin.check h);
+  let h' = h_of [ cinv 1 0; cinv 2 1; cres 1 1; cres 2 1 ] in
+  check_bool "agreeing on second value" true (Clin.check h')
+
+let test_consensus_disagreement_rejected () =
+  let h = h_of [ cinv 1 0; cinv 2 1; cres 1 0; cres 2 1 ] in
+  check_bool "disagreement rejected" false (Clin.check h)
+
+let test_consensus_late_proposer_adopts () =
+  (* p1 decides 0 and completes; p2 proposes later and must decide 0. *)
+  let h = h_of [ cinv 1 0; cres 1 0; cinv 2 1; cres 2 1 ] in
+  check_bool "late proposer deciding own value rejected" false (Clin.check h);
+  let h' = h_of [ cinv 1 0; cres 1 0; cinv 2 1; cres 2 0 ] in
+  check_bool "late proposer adopting accepted" true (Clin.check h')
+
+(* The Property framework. *)
+
+let test_property_combinators () =
+  let always = Property.make ~name:"true" (fun (_ : int) -> true) in
+  let even = Property.make ~name:"even" (fun x -> x mod 2 = 0) in
+  let both = Property.conj ~name:"both" always even in
+  check_bool "conj holds" true (Property.holds both 4);
+  check_bool "conj fails" false (Property.holds both 3);
+  check_bool "name" true (Property.name both = "both");
+  let positive_even = Property.restrict ~name:"pos-even" (fun x -> x > 0) even in
+  check_bool "restrict" false (Property.holds positive_even (-2));
+  check_bool "restrict holds" true (Property.holds positive_even 2)
+
+let test_prefix_closure_helpers () =
+  let lin = Lin.property in
+  let good_h =
+    h_of [ inv 1 (write 1); res 1 ok; inv 2 read; res 2 (value 1) ]
+  in
+  check_bool "prefix-closed at sample" true
+    (Property.is_prefix_closed_on lin good_h);
+  check_bool "all prefixes hold" true
+    (Property.holds_on_all_prefixes lin good_h);
+  let bad_h =
+    h_of [ inv 1 (write 1); res 1 ok; inv 2 read; res 2 (value 0) ]
+  in
+  (* Vacuous: the sample itself is not in the property. *)
+  check_bool "vacuous on non-member" true
+    (Property.is_prefix_closed_on lin bad_h);
+  check_bool "not all prefixes hold" false
+    (Property.holds_on_all_prefixes lin bad_h)
+
+(* Property-based tests. *)
+
+let prop_lin_implies_sc =
+  QCheck2.Test.make ~name:"linearizable => sequentially consistent"
+    ~count:150 ~print:register_history_print
+    (well_formed_register_history_gen ~n:3 ~len:10)
+    (fun h -> (not (Lin.check h)) || Sc.check h)
+
+let prop_lin_prefix_closed =
+  QCheck2.Test.make ~name:"linearizability is prefix-closed" ~count:100
+    ~print:register_history_print
+    (well_formed_register_history_gen ~n:3 ~len:8)
+    (fun h -> Property.is_prefix_closed_on Lin.property h)
+
+let sequential_history_gen ~len =
+  (* A legal sequential register history generated from the spec. *)
+  QCheck2.Gen.(
+    let* cmds = list_size (return len) (pair (int_range 1 3) (int_range 0 3)) in
+    let add (h, st) (p, roll) =
+      let i = if roll = 0 then read else write roll in
+      match Register_type.seq i st with
+      | [ (st', r) ] ->
+          (History.append (History.append h (inv p i)) (res p r), st')
+      | _ -> assert false
+    in
+    let h, _ = List.fold_left add (History.empty, Register_type.initial) cmds in
+    return h)
+
+let prop_sequential_legal_linearizable =
+  QCheck2.Test.make ~name:"legal sequential histories linearizable"
+    ~count:100 ~print:register_history_print (sequential_history_gen ~len:8)
+    Lin.check
+
+let prop_witness_matches_check =
+  QCheck2.Test.make ~name:"witness is Some iff check" ~count:150
+    ~print:register_history_print
+    (well_formed_register_history_gen ~n:3 ~len:8)
+    (fun h -> Option.is_some (Lin.witness h) = Lin.check h)
+
+
+(* Quiescent consistency: the third condition. *)
+
+module Qc = Quiescent_consistency.Make (Register_type)
+
+let test_qc_respects_quiescent_separation () =
+  (* write(1) completes, the system quiesces, then a stale read: QC
+     must reject it (and SC accepts it): SC and QC are incomparable,
+     direction 1. *)
+  let h =
+    h_of [ inv 1 (write 1); res 1 ok; inv 2 read; res 2 (value 0) ]
+  in
+  check_bool "stale read after quiescence rejected by QC" false (Qc.check h);
+  check_bool "but accepted by SC" true (Sc.check h)
+
+let test_qc_ignores_program_order () =
+  (* p1's write stays pending throughout; p2 reads 1 then 0.  No
+     quiescent point separates anything, so QC may reorder freely -
+     while SC is stuck on p2's program order: direction 2. *)
+  let h =
+    h_of
+      [
+        inv 1 (write 1);
+        inv 2 read; res 2 (value 1);
+        inv 2 read; res 2 (value 0);
+      ]
+  in
+  check_bool "QC accepts reordering across concurrency" true (Qc.check h);
+  check_bool "SC rejects the program-order violation" false (Sc.check h)
+
+let test_qc_sequential_histories () =
+  let h =
+    h_of [ inv 1 (write 1); res 1 ok; inv 2 read; res 2 (value 1) ]
+  in
+  check_bool "legal sequential history is QC" true (Qc.check h)
+
+let prop_lin_implies_qc =
+  QCheck2.Test.make ~name:"linearizable => quiescently consistent"
+    ~count:150 ~print:register_history_print
+    (well_formed_register_history_gen ~n:3 ~len:10)
+    (fun h -> (not (Lin.check h)) || Qc.check h)
+
+let suites =
+  [
+    ( "safety",
+      [
+        quick "sequential history linearizable" test_sequential_history_linearizable;
+        quick "stale read not linearizable" test_stale_read_not_linearizable;
+        quick "concurrent read both orders" test_concurrent_read_both_orders;
+        quick "pending write takes effect" test_pending_write_takes_effect;
+        quick "pending write dropped" test_pending_write_dropped;
+        quick "impossible read value" test_impossible_read_value;
+        quick "SC weaker than linearizability" test_sc_weaker_than_lin;
+        quick "SC violation" test_sc_violation;
+        quick "crash leaves pending" test_crash_leaves_pending;
+        quick "consensus linearizable" test_consensus_linearizable;
+        quick "consensus disagreement rejected" test_consensus_disagreement_rejected;
+        quick "consensus late proposer adopts" test_consensus_late_proposer_adopts;
+        quick "property combinators" test_property_combinators;
+        quick "prefix closure helpers" test_prefix_closure_helpers;
+        quick "QC respects quiescent separation" test_qc_respects_quiescent_separation;
+        quick "QC ignores program order" test_qc_ignores_program_order;
+        quick "QC on sequential histories" test_qc_sequential_histories;
+      ]
+      @ qcheck
+          [
+            prop_lin_implies_sc;
+            prop_lin_implies_qc;
+            prop_lin_prefix_closed;
+            prop_sequential_legal_linearizable;
+            prop_witness_matches_check;
+          ] );
+  ]
