@@ -554,18 +554,37 @@ let e16_exhaustive_verification () =
     Explore.workload_invoke
       (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
   in
+  let consensus =
+    Explore.explore ~n:2
+      ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+      ~invoke:one_proposal ~depth:10 ~max_crashes:1
+      ~check:(fun r ->
+        Slx_consensus.Consensus_safety.check r.Run_report.history)
+      ()
+  in
   let consensus_ok, consensus_runs =
-    match
-      Explore.forall_schedules ~n:2
-        ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
-        ~invoke:one_proposal ~depth:10 ~max_crashes:1
-        ~check:(fun r ->
-          Slx_consensus.Consensus_safety.check r.Run_report.history)
-        ()
-    with
+    match consensus.Explore.outcome with
     | Explore.Ok runs -> (true, runs)
     | Explore.Counterexample _ -> (false, 0)
   in
+  let naive =
+    Explore.explore_naive ~n:2
+      ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+      ~invoke:one_proposal ~depth:10 ~max_crashes:1
+      ~check:(fun r ->
+        Slx_consensus.Consensus_safety.check r.Run_report.history)
+      ()
+  in
+  Printf.printf
+    "    engine: incremental %d steps vs naive %d steps (%.2fx); %d cache \
+     hits, %d replays avoided\n"
+    consensus.Explore.stats.Explore_stats.steps_executed
+    naive.Explore.stats.Explore_stats.steps_executed
+    (float_of_int naive.Explore.stats.Explore_stats.steps_executed
+    /. float_of_int
+         (max 1 consensus.Explore.stats.Explore_stats.steps_executed))
+    consensus.Explore.stats.Explore_stats.cache_hits
+    consensus.Explore.stats.Explore_stats.replays_avoided;
   let one_txn view p =
     let h = Slx_history.History.project view.Driver.history p in
     let has inv =

@@ -2,7 +2,8 @@
 
    dune exec bench/main.exe                -- experiments then perf
    dune exec bench/main.exe experiments    -- experiment suite only
-   dune exec bench/main.exe perf           -- Bechamel perf only *)
+   dune exec bench/main.exe perf           -- Bechamel perf only
+   dune exec bench/main.exe smoke          -- tiny explorer smoke (runtest) *)
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -12,12 +13,14 @@ let () =
     | "perf" ->
         Perf.run ();
         true
+    | "smoke" -> Smoke.run ()
     | "all" ->
         let ok = Experiments.run () in
         Perf.run ();
         ok
     | other ->
-        Printf.eprintf "unknown mode %S (use: experiments | perf)\n" other;
+        Printf.eprintf
+          "unknown mode %S (use: experiments | perf | smoke)\n" other;
         false
   in
   exit (if ok then 0 else 1)

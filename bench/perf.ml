@@ -123,23 +123,35 @@ let universal_tests =
                   ~max_steps:200 ()))))
     [ ("cas-consensus", `Cas); ("register-consensus", `Registers) ]
 
-(* P4d: the exhaustive explorer. *)
+(* P4d: the exhaustive explorer — the incremental engine against the
+   replay-from-scratch reference, wall clock. *)
 let explore_tests =
   let one_proposal =
     Slx_core.Explore.workload_invoke
       (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
   in
-  List.map
+  List.concat_map
     (fun depth ->
-      Test.make
-        ~name:(Printf.sprintf "explore/cas-consensus-depth-%d" depth)
-        (Staged.stage (fun () ->
-             ignore
-               (Slx_core.Explore.forall_schedules ~n:2
-                  ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
-                  ~invoke:one_proposal ~depth
-                  ~check:(fun _ -> true)
-                  ()))))
+      [
+        Test.make
+          ~name:(Printf.sprintf "explore/cas-consensus-depth-%d" depth)
+          (Staged.stage (fun () ->
+               ignore
+                 (Slx_core.Explore.explore ~n:2
+                    ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+                    ~invoke:one_proposal ~depth
+                    ~check:(fun _ -> true)
+                    ())));
+        Test.make
+          ~name:(Printf.sprintf "explore/cas-consensus-depth-%d-naive" depth)
+          (Staged.stage (fun () ->
+               ignore
+                 (Slx_core.Explore.explore_naive ~n:2
+                    ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+                    ~invoke:one_proposal ~depth
+                    ~check:(fun _ -> true)
+                    ())));
+      ])
     [ 6; 8; 10 ]
 
 (* P4e: TM checker family on one fixed history. *)

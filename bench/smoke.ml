@@ -1,0 +1,59 @@
+(* Bench smoke: a single tiny exploration (depth 8, one iteration per
+   engine) cheap enough to run on every `dune runtest`, asserting the
+   incremental engine's headline property — at least 3x fewer runtime
+   steps than naive replay on depth-8 CAS consensus — and emitting the
+   JSON recorded in BENCH_explore.json. *)
+
+open Slx_sim
+
+let explore_pair ~impl ~factory ~depth ~max_crashes =
+  let one_proposal =
+    Slx_core.Explore.workload_invoke
+      (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
+  in
+  let check r = Slx_consensus.Consensus_safety.check r.Run_report.history in
+  let inc =
+    Slx_core.Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth
+      ~max_crashes ~check ()
+  in
+  let naive =
+    Slx_core.Explore.explore_naive ~n:2 ~factory ~invoke:one_proposal ~depth
+      ~max_crashes ~check ()
+  in
+  let steps e = e.Slx_core.Explore.stats.Slx_core.Explore_stats.steps_executed in
+  let runs e = e.Slx_core.Explore.stats.Slx_core.Explore_stats.runs in
+  let digest e =
+    e.Slx_core.Explore.stats.Slx_core.Explore_stats.history_digest
+  in
+  let ratio = float_of_int (steps naive) /. float_of_int (max 1 (steps inc)) in
+  Printf.printf
+    "  {\"case\": \"%s-depth-%d-crashes-%d\", \"naive_steps\": %d, \
+     \"incremental_steps\": %d, \"ratio\": %.2f, \"runs\": %d, \
+     \"cache_hits\": %d}\n"
+    impl depth max_crashes (steps naive) (steps inc) ratio (runs inc)
+    inc.Slx_core.Explore.stats.Slx_core.Explore_stats.cache_hits;
+  let equivalent = runs inc = runs naive && digest inc = digest naive in
+  if not equivalent then
+    Printf.printf
+      "  SMOKE FAILURE: engines disagree (runs %d vs %d, digest mismatch=%b)\n"
+      (runs inc) (runs naive)
+      (digest inc <> digest naive);
+  (ratio, equivalent)
+
+let run () =
+  Printf.printf "== bench smoke: incremental explorer vs naive replay ==\n";
+  let cas_ratio, cas_eq =
+    explore_pair ~impl:"cas"
+      ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+      ~depth:8 ~max_crashes:0
+  in
+  let crash_ratio, crash_eq =
+    explore_pair ~impl:"cas"
+      ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+      ~depth:8 ~max_crashes:1
+  in
+  let ok = cas_ratio >= 3.0 && crash_ratio >= 3.0 && cas_eq && crash_eq in
+  Printf.printf "smoke %s: depth-8 step ratios %.2fx / %.2fx (bar: 3x)\n"
+    (if ok then "OK" else "FAILED")
+    cas_ratio crash_ratio;
+  ok

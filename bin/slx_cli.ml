@@ -269,7 +269,22 @@ let explore_cmd =
   let crashes_arg =
     Arg.(value & opt int 0 & info [ "crashes" ] ~doc:"Max crash branches.")
   in
-  let run impl depth max_crashes =
+  let domains_arg =
+    let doc =
+      "Fan top-level branches across this many domains (0 = one per core)."
+    in
+    Arg.(value & opt int 1 & info [ "domains"; "j" ] ~doc)
+  in
+  let no_cache_arg =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Disable the transposition cache.")
+  in
+  let naive_arg =
+    Arg.(value & flag
+         & info [ "naive" ]
+             ~doc:"Use the replay-from-scratch reference engine.")
+  in
+  let run impl depth max_crashes domains no_cache naive =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -288,25 +303,48 @@ let explore_cmd =
             (Slx_sim.Driver.n_times 1 (fun p _ ->
                  Consensus_type.Propose (p - 1)))
         in
-        match
-          Explore.forall_schedules ~n:2 ~factory ~invoke ~depth ~max_crashes
-            ~check:(fun r ->
-              Consensus_safety.check r.Slx_sim.Run_report.history)
-            ()
-        with
+        let check r = Consensus_safety.check r.Slx_sim.Run_report.history in
+        let e =
+          if naive then
+            Explore.explore_naive ~n:2 ~factory ~invoke ~depth ~max_crashes
+              ~check ()
+          else
+            let domains =
+              if domains = 0 then Domain.recommended_domain_count ()
+              else domains
+            in
+            Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes
+              ~cache:(not no_cache) ~domains ~check ()
+        in
+        (match e.Explore.outcome with
         | Explore.Ok runs ->
-            Printf.printf "safe on all %d bounded schedules\n" runs;
-            0
+            Printf.printf "safe on all %d bounded schedules\n" runs
         | Explore.Counterexample r ->
             Format.printf "counterexample: %a@." Consensus_type.pp_history
               r.Slx_sim.Run_report.history;
-            0
+            let pp_d fmt = function
+              | Slx_sim.Driver.Schedule p -> Format.fprintf fmt "S%d" p
+              | Slx_sim.Driver.Invoke (p, Consensus_type.Propose v) ->
+                  Format.fprintf fmt "I%d(%d)" p v
+              | Slx_sim.Driver.Crash p -> Format.fprintf fmt "C%d" p
+              | Slx_sim.Driver.Stop -> Format.fprintf fmt "stop"
+            in
+            Option.iter
+              (fun script ->
+                Format.printf "witness script: %a@."
+                  (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_d)
+                  script)
+              e.Explore.witness_script);
+        Format.printf "%a@." Explore_stats.pp e.Explore.stats;
+        0
       end
   in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Exhaustively check consensus safety on every bounded schedule")
-    Term.(const run $ impl_arg $ depth_arg $ crashes_arg)
+    Term.(
+      const run $ impl_arg $ depth_arg $ crashes_arg $ domains_arg
+      $ no_cache_arg $ naive_arg)
 
 let () =
   let info =

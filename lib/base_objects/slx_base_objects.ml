@@ -1,9 +1,18 @@
 let atomic = Slx_sim.Runtime.atomic
 
+(* Every constructor registers a state reader with the fingerprint
+   registry currently in effect (a no-op outside the explorer), so the
+   exploration engine can digest the shared state of a configuration.
+   See Runtime's "Configuration fingerprinting" section. *)
+let fingerprinted state read =
+  Slx_sim.Runtime.register_object (fun () ->
+      Slx_sim.Runtime.hash_value (read state));
+  state
+
 module Register = struct
   type 'a t = 'a ref
 
-  let make v = ref v
+  let make v = fingerprinted (ref v) ( ! )
   let read r = atomic (fun () -> !r)
   let write r v = atomic (fun () -> r := v)
 end
@@ -11,7 +20,7 @@ end
 module Cas = struct
   type 'a t = 'a ref
 
-  let make v = ref v
+  let make v = fingerprinted (ref v) ( ! )
   let read r = atomic (fun () -> !r)
 
   let compare_and_swap r ~expected ~desired =
@@ -26,7 +35,7 @@ end
 module Test_and_set = struct
   type t = bool ref
 
-  let make () = ref false
+  let make () = fingerprinted (ref false) ( ! )
 
   let test_and_set r =
     atomic (fun () ->
@@ -44,7 +53,7 @@ end
 module Fetch_and_add = struct
   type t = int ref
 
-  let make v = ref v
+  let make v = fingerprinted (ref v) ( ! )
 
   let fetch_and_add r d =
     atomic (fun () ->
@@ -58,7 +67,7 @@ end
 module Queue = struct
   type 'a t = 'a list ref  (* front of the queue first *)
 
-  let make items = ref items
+  let make items = fingerprinted (ref items) ( ! )
 
   let enqueue q v = atomic (fun () -> q := !q @ [ v ])
 
@@ -76,7 +85,7 @@ module Snapshot = struct
 
   let make ~n init =
     if n < 1 then invalid_arg "Snapshot.make: n must be positive";
-    Array.make n init
+    fingerprinted (Array.make n init) (fun s -> Array.to_list s)
 
   let update s p v =
     if p < 1 || p > Array.length s then invalid_arg "Snapshot.update";

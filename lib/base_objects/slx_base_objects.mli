@@ -14,7 +14,12 @@
     The paper's results about consensus depend on {e which} base
     objects an implementation uses (registers only vs. stronger
     primitives); keeping each primitive in its own module makes that
-    restriction syntactically visible in implementation code. *)
+    restriction syntactically visible in implementation code.
+
+    Every constructor additionally registers a state reader with the
+    current {!Slx_sim.Runtime} fingerprint registry (a no-op outside
+    the exploration engine), so that the shared state of a
+    configuration can be digested for transposition pruning. *)
 
 (** Atomic read/write registers — the only base object permitted to the
     consensus implementations of Theorems 5.2 and Corollaries 4.5,

@@ -5,6 +5,12 @@ type ('inv, 'res) outcome =
   | Ok of int
   | Counterexample of ('inv, 'res) Run_report.t
 
+type ('inv, 'res) exploration = {
+  outcome : ('inv, 'res) outcome;
+  stats : Explore_stats.t;
+  witness_script : ('inv, 'res) Driver.decision list option;
+}
+
 exception Found_counterexample
 
 let workload_invoke workload view p =
@@ -16,79 +22,275 @@ let workload_invoke workload view p =
   in
   workload p issued
 
-(* Reconstruct a driver view from a finished replay, so [invoke] and
-   the decision enumeration can inspect the configuration. *)
-let view_of_report (r : _ Run_report.t) : _ Driver.view =
-  let status p =
-    if Proc.Set.mem p r.Run_report.crashed then Runtime.Crashed
-    else if Option.is_some (History.pending r.Run_report.history p) then
-      Runtime.Ready
-    else Runtime.Idle
-  in
+(* The decision menu of a configuration, in the canonical order that
+   defines "lexicographically least script": for each process 1..n, its
+   step or invocation; then, if the crash budget allows, for each
+   process 1..n, its crash. *)
+let decision_menu ~n ~invoke ~depth ~max_crashes view len crashes =
+  if len >= depth then []
+  else
+    List.concat_map
+      (fun p ->
+        match view.Driver.status p with
+        | Runtime.Ready -> [ Driver.Schedule p ]
+        | Runtime.Idle -> begin
+            match invoke view p with
+            | Some inv -> [ Driver.Invoke (p, inv) ]
+            | None -> []
+          end
+        | Runtime.Crashed -> [])
+      (Proc.all ~n)
+    @
+    if crashes < max_crashes then
+      List.filter_map
+        (fun p ->
+          if view.Driver.status p = Runtime.Crashed then None
+          else Some (Driver.Crash p))
+        (Proc.all ~n)
+    else []
+
+(* Per-engine (and, under fan-out, per-domain) mutable exploration
+   state.  Domains share nothing mutable: each has its own cursors,
+   transposition table and counters, which keeps the engine
+   deterministic and lock-free. *)
+type ('inv, 'res) dstate = {
+  mutable nodes : int;
+  mutable runs : int;
+  mutable checked : int;
+  mutable replayed : int;
+  mutable avoided : int;
+  mutable hits : int;
+  mutable digest : int;
+  mutable found :
+    (('inv, 'res) Driver.decision list * ('inv, 'res) Run_report.t) option;
+  ticks : int ref;
+  table : (('inv, 'res) Runner.fingerprint, entry) Hashtbl.t;
+}
+
+and entry = { e_runs : int; e_digest : int }
+
+let new_state () =
   {
-    Driver.time = r.Run_report.total_time;
-    n = r.Run_report.n;
-    history = r.Run_report.history;
-    status;
-    steps = (fun p -> Run_report.steps_total r p);
+    nodes = 0;
+    runs = 0;
+    checked = 0;
+    replayed = 0;
+    avoided = 0;
+    hits = 0;
+    digest = 0;
+    found = None;
+    ticks = ref 0;
+    table = Hashtbl.create 512;
   }
 
-let forall_schedules ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
-  let runs = ref 0 in
-  let witness = ref None in
-  let replay script =
-    let len = List.length script in
-    Runner.run ~n ~factory:(factory ())
-      ~driver:(Driver.of_script (List.rev script))
-      ~max_steps:len ~window:(max len 1) ()
+let stats_of_states ~domains_used ~per_domain_runs states : Explore_stats.t =
+  List.fold_left
+    (fun (acc : Explore_stats.t) st ->
+      {
+        acc with
+        Explore_stats.nodes = acc.Explore_stats.nodes + st.nodes;
+        runs = acc.runs + st.runs;
+        runs_checked = acc.runs_checked + st.checked;
+        steps_executed = acc.steps_executed + !(st.ticks);
+        steps_replayed = acc.steps_replayed + st.replayed;
+        replays_avoided = acc.replays_avoided + st.avoided;
+        cache_hits = acc.cache_hits + st.hits;
+        cache_entries = acc.cache_entries + Hashtbl.length st.table;
+        history_digest = acc.history_digest + st.digest;
+      })
+    { Explore_stats.zero with domains_used; per_domain_runs }
+    states
+
+let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
+    ?(domains = 1) ~check () =
+  let menu = decision_menu ~n ~invoke ~depth ~max_crashes in
+  let make_cursor st = Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks () in
+  (* Walk the subtree rooted at the configuration [cursor] sits on.
+     The first child extends the cursor in place (the incremental step
+     the naive engine lacks); each later sibling re-establishes the
+     configuration by replaying the decision prefix into a fresh
+     cursor.  Raises [Found_counterexample] with [st.found] set on the
+     first failing maximal run, which under this in-order walk is the
+     lexicographically least one of the subtree. *)
+  let rec visit st cursor rev_script len crashes =
+    st.nodes <- st.nodes + 1;
+    let fp = if cache then Some (Runner.Cursor.fingerprint cursor) else None in
+    match Option.bind fp (Hashtbl.find_opt st.table) with
+    | Some e ->
+        (* Transposition: an already-explored configuration.  Its
+           subtree was counterexample-free (failing subtrees abort the
+           walk before an entry is written), so credit its runs and
+           final-history digest without descending. *)
+        st.hits <- st.hits + 1;
+        st.runs <- st.runs + e.e_runs;
+        st.digest <- st.digest + e.e_digest
+    | None -> begin
+        match menu (Runner.Cursor.view cursor) len crashes with
+        | [] ->
+            (* A maximal run: check it. *)
+            let r = Runner.Cursor.report cursor ~window:(max len 1) () in
+            st.runs <- st.runs + 1;
+            st.checked <- st.checked + 1;
+            let dh = Runtime.hash_value r.Run_report.history in
+            st.digest <- st.digest + dh;
+            Option.iter
+              (fun f -> Hashtbl.replace st.table f { e_runs = 1; e_digest = dh })
+              fp;
+            if not (check r) then begin
+              st.found <- Some (List.rev rev_script, r);
+              raise Found_counterexample
+            end
+        | decisions ->
+            let runs0 = st.runs and digest0 = st.digest in
+            List.iteri
+              (fun i d ->
+                let crashes' =
+                  match d with Driver.Crash _ -> crashes + 1 | _ -> crashes
+                in
+                let child =
+                  if i = 0 then begin
+                    st.avoided <- st.avoided + 1;
+                    cursor
+                  end
+                  else begin
+                    let c = make_cursor st in
+                    List.iter (Runner.Cursor.apply c) (List.rev rev_script);
+                    st.replayed <- st.replayed + len;
+                    c
+                  end
+                in
+                Runner.Cursor.apply child d;
+                visit st child (d :: rev_script) (len + 1) crashes')
+              decisions;
+            Option.iter
+              (fun f ->
+                Hashtbl.replace st.table f
+                  { e_runs = st.runs - runs0; e_digest = st.digest - digest0 })
+              fp
+      end
   in
-  let rec explore rev_script len crashes =
-    let report = replay rev_script in
-    let view = view_of_report report in
-    let decisions =
-      if len >= depth then []
-      else
-        List.concat_map
-          (fun p ->
-            match view.Driver.status p with
-            | Runtime.Ready -> [ Driver.Schedule p ]
-            | Runtime.Idle -> begin
-                match invoke view p with
-                | Some inv -> [ Driver.Invoke (p, inv) ]
-                | None -> []
-              end
-            | Runtime.Crashed -> [])
-          (Proc.all ~n)
-        @
-        if crashes < max_crashes then
-          List.filter_map
-            (fun p ->
-              if view.Driver.status p = Runtime.Crashed then None
-              else Some (Driver.Crash p))
-            (Proc.all ~n)
-        else []
+  let finish ~domains_used ~per_domain_runs states witness =
+    let stats = stats_of_states ~domains_used ~per_domain_runs states in
+    match witness with
+    | None -> { outcome = Ok stats.Explore_stats.runs; stats; witness_script = None }
+    | Some (script, r) ->
+        { outcome = Counterexample r; stats; witness_script = Some script }
+  in
+  let st0 = new_state () in
+  let root = make_cursor st0 in
+  let roots = menu (Runner.Cursor.view root) 0 0 in
+  let fan_out = max 1 (min domains (List.length roots)) in
+  if fan_out = 1 then begin
+    (* Sequential: one walk from the root configuration. *)
+    let witness =
+      match visit st0 root [] 0 0 with
+      | () -> None
+      | exception Found_counterexample -> st0.found
     in
-    match decisions with
+    finish ~domains_used:1 ~per_domain_runs:[] [ st0 ] witness
+  end
+  else begin
+    (* Fan the root decisions across domains: one domain per root up to
+       [domains], a work list for the rest.  Each domain owns its
+       cursors, cache and counters; per-root witnesses land in a slot
+       array (one writer per slot), and the least failing root index
+       gives the lexicographically least counterexample overall. *)
+    st0.nodes <- 1;
+    let roots_arr = Array.of_list roots in
+    let nroots = Array.length roots_arr in
+    let next = Atomic.make 0 in
+    let failed_at = Atomic.make max_int in
+    let witnesses = Array.make nroots None in
+    let worker () =
+      let st = new_state () in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < nroots then begin
+          (* Roots beyond an already-failed one cannot yield the least
+             witness; skip them (their run counts are moot once any
+             counterexample exists). *)
+          if i <= Atomic.get failed_at then begin
+            let d = roots_arr.(i) in
+            let crashes = match d with Driver.Crash _ -> 1 | _ -> 0 in
+            let c = make_cursor st in
+            Runner.Cursor.apply c d;
+            (match visit st c [ d ] 1 crashes with
+            | () -> ()
+            | exception Found_counterexample ->
+                witnesses.(i) <- st.found;
+                st.found <- None;
+                let rec lower () =
+                  let cur = Atomic.get failed_at in
+                  if i < cur && not (Atomic.compare_and_set failed_at cur i)
+                  then lower ()
+                in
+                lower ())
+          end;
+          loop ()
+        end
+      in
+      loop ();
+      st
+    in
+    let handles =
+      List.init (fan_out - 1) (fun _ -> Domain.spawn worker)
+    in
+    let states = worker () :: List.map Domain.join handles in
+    let witness =
+      let best = Atomic.get failed_at in
+      if best = max_int then None else witnesses.(best)
+    in
+    finish ~domains_used:fan_out
+      ~per_domain_runs:(List.map (fun st -> st.runs) states)
+      (st0 :: states) witness
+  end
+
+let explore_naive ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
+  let menu = decision_menu ~n ~invoke ~depth ~max_crashes in
+  let st = new_state () in
+  (* The retained reference engine: re-run the decision prefix from a
+     fresh implementation instance at every node of the tree, exactly
+     as the original explorer did.  Kept for differential testing and
+     as the baseline the incremental engine's counters are measured
+     against. *)
+  let replay rev_script =
+    let c = Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks () in
+    List.iter (Runner.Cursor.apply c) (List.rev rev_script);
+    c
+  in
+  let rec walk rev_script len crashes =
+    st.nodes <- st.nodes + 1;
+    let cursor = replay rev_script in
+    st.replayed <- st.replayed + len;
+    match menu (Runner.Cursor.view cursor) len crashes with
     | [] ->
-        (* A maximal run: check it. *)
-        incr runs;
-        if not (check report) then begin
-          witness := Some report;
+        let r = Runner.Cursor.report cursor ~window:(max len 1) () in
+        st.runs <- st.runs + 1;
+        st.checked <- st.checked + 1;
+        st.digest <- st.digest + Runtime.hash_value r.Run_report.history;
+        if not (check r) then begin
+          st.found <- Some (List.rev rev_script, r);
           raise Found_counterexample
         end
-    | _ :: _ ->
+    | decisions ->
         List.iter
           (fun d ->
             let crashes' =
               match d with Driver.Crash _ -> crashes + 1 | _ -> crashes
             in
-            explore (d :: rev_script) (len + 1) crashes')
+            walk (d :: rev_script) (len + 1) crashes')
           decisions
   in
-  match explore [] 0 0 with
-  | () -> Ok !runs
-  | exception Found_counterexample -> begin
-      match !witness with
-      | Some r -> Counterexample r
-      | None -> assert false
-    end
+  let witness =
+    match walk [] 0 0 with
+    | () -> None
+    | exception Found_counterexample -> st.found
+  in
+  let stats = stats_of_states ~domains_used:1 ~per_domain_runs:[] [ st ] in
+  match witness with
+  | None -> { outcome = Ok stats.Explore_stats.runs; stats; witness_script = None }
+  | Some (script, r) ->
+      { outcome = Counterexample r; stats; witness_script = Some script }
+
+let forall_schedules ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
+  (explore ~n ~factory ~invoke ~depth ~max_crashes ~check ()).outcome

@@ -1,32 +1,114 @@
 (** Exhaustive bounded exploration: check a property on {e every}
     schedule, not a sample.
 
-    The paper's statements quantify over all executions; the random
-    and adversarial drivers only sample them.  For small systems and
-    short horizons the schedule space is enumerable: at every tick the
+    The paper's statements quantify over all executions; the random and
+    adversarial drivers only sample them.  For small systems and short
+    horizons the schedule space is enumerable: at every tick the
     scheduler chooses among the ready processes (one atomic step) and
     the idle processes with pending work (an invocation), with an
-    optional crash branch.  This module walks the whole tree,
-    re-running the implementation from scratch down each branch
-    (implementations are deterministic, so a decision prefix determines
-    the run), and reports the first counterexample or the number of
-    maximal runs checked.
+    optional crash branch.  Implementations are deterministic, so a
+    decision prefix determines the configuration it reaches.
 
-    The test suites use it to promote sampled claims to exhaustive
-    ones — e.g. {e agreement and validity hold for CAS consensus on
-    every schedule of two processes and ten steps}, and {e final-state
-    opacity holds for AGP on every schedule of two one-op
-    transactions}. *)
+    Two engines walk this tree:
+
+    - {!explore} — the incremental engine.  A node's configuration is a
+      live {!Slx_sim.Runner.Cursor}; the first child {e extends it in
+      place} (one runtime step) and only later siblings replay their
+      prefix.  A {e transposition cache} keyed on the canonical
+      configuration fingerprint ({!Slx_sim.Runner.fingerprint}: history,
+      crash set, per-process status/step-count/observation digests,
+      shared base-object digest) prunes schedule prefixes that reach an
+      already-explored configuration, crediting the cached subtree's run
+      count instead of descending.  Root branches can be fanned out
+      across OCaml 5 domains.
+    - {!explore_naive} — the retained reference: replays every prefix
+      from scratch at every node.  The differential suite proves both
+      engines visit the identical set of maximal runs; the bench smoke
+      compares their [steps_executed].
+
+    Soundness fine print for the cache: fingerprint equality implies
+    identical futures (same decision menus, same suffix histories, same
+    run counts) up to hash collision on the two digest components, and
+    identical maximal-run reports {e except for the timing of prefix
+    events} ([event_times], grant times) which the canonical fingerprint
+    abstracts away.  [check] is therefore invoked once per configuration
+    class, not once per run — pass [~cache:false] if a check depends on
+    fine-grained event timing rather than on the history, crash set,
+    totals and window.  Every check in this repository is of the latter
+    kind.
+
+    The test suites use exploration to promote sampled claims to
+    exhaustive ones — e.g. {e agreement and validity hold for CAS
+    consensus on every schedule of two processes and ten steps}. *)
 
 open Slx_history
 open Slx_sim
 
 type ('inv, 'res) outcome =
   | Ok of int
-      (** Every maximal bounded run satisfied the check; the payload is
-          how many runs were explored. *)
+      (** Every maximal bounded run satisfied the check.  The payload
+          counts the {e maximal} runs explored — interior nodes of the
+          decision tree (proper prefixes) are not counted; see
+          {!Explore_stats.t.nodes} for those. *)
   | Counterexample of ('inv, 'res) Run_report.t
-      (** The first failing run, for diagnosis. *)
+      (** The failing run with the lexicographically least decision
+          script (in the menu order: steps/invocations of processes
+          1..n, then crashes of processes 1..n) — deterministic, for
+          any engine configuration, cache or not, one domain or many. *)
+
+type ('inv, 'res) exploration = {
+  outcome : ('inv, 'res) outcome;
+  stats : Explore_stats.t;  (** Work counters; see {!Explore_stats}. *)
+  witness_script : ('inv, 'res) Driver.decision list option;
+      (** The decision script of the counterexample, when there is one:
+          replaying it through [Driver.of_script] reproduces the
+          failing run exactly. *)
+}
+
+val explore :
+  n:int ->
+  factory:(unit -> ('inv, 'res) Runner.factory) ->
+  invoke:(('inv, 'res) Driver.view -> Proc.t -> 'inv option) ->
+  depth:int ->
+  ?max_crashes:int ->
+  ?cache:bool ->
+  ?domains:int ->
+  check:(('inv, 'res) Run_report.t -> bool) ->
+  unit ->
+  ('inv, 'res) exploration
+(** [explore ~n ~factory ~invoke ~depth ~check ()] explores every
+    decision sequence of at most [depth] ticks with the incremental
+    engine.  [factory] must return a {e fresh} implementation instance
+    on each call (one per live cursor).  [invoke view p] supplies the
+    invocation an idle process would issue, or [None] if it has no more
+    work.  [max_crashes] (default 0) additionally branches on crashing
+    each not-yet-crashed process.  [cache] (default [true]) enables the
+    transposition cache.  [domains] (default 1) fans the top-level
+    branches across up to that many OCaml 5 domains (clamped to the
+    number of root decisions); with [domains > 1], [factory], [invoke]
+    and [check] run concurrently in several domains and must not share
+    unsynchronized mutable state.
+
+    The check runs on maximal runs only (depth reached or no decision
+    available); the report's window is the whole run.  When a
+    counterexample is found the remaining exploration is abandoned, so
+    [stats] then reflects the work done up to (and while concurrently
+    racing past) the discovery. *)
+
+val explore_naive :
+  n:int ->
+  factory:(unit -> ('inv, 'res) Runner.factory) ->
+  invoke:(('inv, 'res) Driver.view -> Proc.t -> 'inv option) ->
+  depth:int ->
+  ?max_crashes:int ->
+  check:(('inv, 'res) Run_report.t -> bool) ->
+  unit ->
+  ('inv, 'res) exploration
+(** The replay-from-scratch reference engine: same tree, same order,
+    same outcome and witness as {!explore}, but every node re-runs its
+    whole decision prefix on a fresh instance (and [check] runs on
+    every maximal run).  O(depth) runtime steps per node — kept as the
+    differential-testing baseline. *)
 
 val forall_schedules :
   n:int ->
@@ -37,17 +119,9 @@ val forall_schedules :
   check:(('inv, 'res) Run_report.t -> bool) ->
   unit ->
   ('inv, 'res) outcome
-(** [forall_schedules ~n ~factory ~invoke ~depth ~check ()] explores
-    every decision sequence of at most [depth] ticks.  [factory] must
-    return a {e fresh} implementation instance on each call (one per
-    explored branch).  [invoke view p] supplies the invocation an idle
-    process would issue, or [None] if it has no more work — protocol-
-    aware workloads (e.g. {!Slx_tm.Tm_workload.next_invocation}) fit
-    directly.  [max_crashes] (default 0) additionally branches on
-    crashing each not-yet-crashed process.
-
-    The check runs on maximal runs only (depth reached or no decision
-    available); the window is the whole run. *)
+(** [explore] with the default engine configuration (cache on, one
+    domain), returning just the outcome.  [Ok runs] counts {e maximal}
+    runs only. *)
 
 val workload_invoke :
   ('inv, 'res) Driver.workload ->

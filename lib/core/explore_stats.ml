@@ -1,0 +1,65 @@
+type t = {
+  nodes : int;
+  runs : int;
+  runs_checked : int;
+  steps_executed : int;
+  steps_replayed : int;
+  replays_avoided : int;
+  cache_hits : int;
+  cache_entries : int;
+  domains_used : int;
+  per_domain_runs : int list;
+  history_digest : int;
+}
+
+let zero =
+  {
+    nodes = 0;
+    runs = 0;
+    runs_checked = 0;
+    steps_executed = 0;
+    steps_replayed = 0;
+    replays_avoided = 0;
+    cache_hits = 0;
+    cache_entries = 0;
+    domains_used = 0;
+    per_domain_runs = [];
+    history_digest = 0;
+  }
+
+let merge a b =
+  {
+    nodes = a.nodes + b.nodes;
+    runs = a.runs + b.runs;
+    runs_checked = a.runs_checked + b.runs_checked;
+    steps_executed = a.steps_executed + b.steps_executed;
+    steps_replayed = a.steps_replayed + b.steps_replayed;
+    replays_avoided = a.replays_avoided + b.replays_avoided;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_entries = a.cache_entries + b.cache_entries;
+    domains_used = max a.domains_used b.domains_used;
+    per_domain_runs = a.per_domain_runs @ b.per_domain_runs;
+    history_digest = a.history_digest + b.history_digest;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>nodes visited:    %d@,maximal runs:     %d (checked: %d)@,\
+     steps executed:   %d (replayed: %d)@,replays avoided:  %d@,\
+     cache:            %d hits / %d entries@,domains:          %d%s@]"
+    s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
+    s.replays_avoided s.cache_hits s.cache_entries s.domains_used
+    (match s.per_domain_runs with
+    | [] | [ _ ] -> ""
+    | rs ->
+        Printf.sprintf "  (runs per domain: %s)"
+          (String.concat ", " (List.map string_of_int rs)))
+
+let to_json s =
+  Printf.sprintf
+    "{\"nodes\": %d, \"runs\": %d, \"runs_checked\": %d, \
+     \"steps_executed\": %d, \"steps_replayed\": %d, \
+     \"replays_avoided\": %d, \"cache_hits\": %d, \"cache_entries\": %d, \
+     \"domains_used\": %d}"
+    s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
+    s.replays_avoided s.cache_hits s.cache_entries s.domains_used

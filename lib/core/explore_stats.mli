@@ -1,0 +1,50 @@
+(** Counters produced by the exploration engine ({!Explore}), so that
+    the incremental/cached/parallel engine's speedup over naive replay
+    is measured, not asserted.  Surfaced by [bench/experiments.ml]
+    (E16), the bench smoke target, and the [slx explore] subcommand. *)
+
+type t = {
+  nodes : int;
+      (** Decision-tree nodes visited, transposition hits included. *)
+  runs : int;
+      (** Maximal runs accounted for — equals the count a naive
+          enumeration reports, cache-credited subtrees included. *)
+  runs_checked : int;
+      (** Maximal runs on which [check] actually executed ([runs] minus
+          runs credited from the transposition cache). *)
+  steps_executed : int;
+      (** Runtime ticks actually applied across all cursors — the
+          engine's unit of work, and the quantity the incremental
+          engine minimizes. *)
+  steps_replayed : int;
+      (** The subset of [steps_executed] spent re-establishing a
+          configuration by replaying a decision prefix (backtracking to
+          a sibling); the rest extended a live cursor. *)
+  replays_avoided : int;
+      (** Nodes entered by extending the parent's cursor in place — each
+          saved a full prefix replay the naive engine performs. *)
+  cache_hits : int;  (** Subtrees pruned by the transposition cache. *)
+  cache_entries : int;  (** Final size of the transposition cache(s). *)
+  domains_used : int;  (** Domains the exploration actually fanned over. *)
+  per_domain_runs : int list;
+      (** Maximal runs accounted per domain (work-list order; empty for
+          sequential exploration).  Informational: the split depends on
+          domain scheduling, everything else in [t] does not. *)
+  history_digest : int;
+      (** Order-insensitive digest (wrapping integer sum of deep hashes)
+          of the final histories of all maximal runs.  Two engines that
+          explore the same run set agree on [runs] and this digest; the
+          differential suite uses it to compare engines through the
+          cache, which never materializes pruned runs. *)
+}
+
+val zero : t
+
+val merge : t -> t -> t
+(** Pointwise sum (max for [domains_used], concatenation for
+    [per_domain_runs]). *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One-line JSON object of the scalar counters. *)

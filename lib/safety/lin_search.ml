@@ -1,62 +1,83 @@
 open Slx_history
 
+let max_ops = 62
+
+type error = Too_many_ops of int
+
+let pp_error fmt (Too_many_ops n) =
+  Format.fprintf fmt
+    "history has %d operations, beyond the %d the bitmask search supports" n
+    max_ops
+
 module Make (Tp : Object_type.S) = struct
   type op = (Tp.invocation, Tp.response) Op.t
 
   let search ~precedes ops =
     let ops = Array.of_list ops in
     let count = Array.length ops in
-    if count > 62 then
-      invalid_arg "Lin_search: too many operations for bitmask search";
-    let full_complete =
-      (* Bitmask of operations that must be linearized. *)
-      let mask = ref 0 in
-      Array.iteri
-        (fun i op -> if Op.is_complete op then mask := !mask lor (1 lsl i))
-        ops;
-      !mask
-    in
-    let visited : (int * Tp.state, unit) Hashtbl.t = Hashtbl.create 256 in
-    (* An op is ready when all its predecessors are already placed. *)
-    let ready placed i =
-      placed land (1 lsl i) = 0
-      && Array.for_all
-           (fun j ->
-             let dep = precedes ops.(j) ops.(i) in
-             (not dep) || placed land (1 lsl j) <> 0)
-           (Array.init count (fun j -> j))
-    in
-    let rec go placed state acc =
-      if placed land full_complete = full_complete then
-        (* All completed operations are placed; pending ones may be
-           dropped.  Success. *)
-        Some (List.rev acc)
-      else if Hashtbl.mem visited (placed, state) then None
-      else begin
-        Hashtbl.add visited (placed, state) ();
-        let try_op i =
-          if not (ready placed i) then None
-          else
-            let op = ops.(i) in
-            let candidates = Tp.seq op.Op.inv state in
-            let matching =
-              match op.Op.res with
-              | Some res ->
-                  List.filter
-                    (fun (_, res') -> Tp.equal_response res res')
-                    candidates
-              | None -> candidates
-            in
-            List.find_map
-              (fun (state', res) ->
-                go
-                  (placed lor (1 lsl i))
-                  state'
-                  ((op.Op.proc, op.Op.inv, res) :: acc))
-              matching
-        in
-        List.find_map try_op (List.init count (fun i -> i))
-      end
-    in
-    go 0 Tp.initial []
+    if count > max_ops then Error (Too_many_ops count)
+    else begin
+      let full_complete =
+        (* Bitmask of operations that must be linearized. *)
+        let mask = ref 0 in
+        Array.iteri
+          (fun i op -> if Op.is_complete op then mask := !mask lor (1 lsl i))
+          ops;
+        !mask
+      in
+      (* Precompute, once, the predecessor bitmask of each operation:
+         bit [j] of [preds.(i)] iff [ops.(j)] must be placed before
+         [ops.(i)].  [ready] is then two mask tests instead of an O(n)
+         scan (with an O(n^2) [precedes] recomputation) per probe. *)
+      let preds = Array.make count 0 in
+      for i = 0 to count - 1 do
+        for j = 0 to count - 1 do
+          if j <> i && precedes ops.(j) ops.(i) then
+            preds.(i) <- preds.(i) lor (1 lsl j)
+        done
+      done;
+      let visited : (int * Tp.state, unit) Hashtbl.t = Hashtbl.create 256 in
+      (* An op is ready when it is unplaced and all its predecessors are
+         already placed. *)
+      let ready placed i =
+        placed land (1 lsl i) = 0 && preds.(i) land placed = preds.(i)
+      in
+      let rec go placed state acc =
+        if placed land full_complete = full_complete then
+          (* All completed operations are placed; pending ones may be
+             dropped.  Success. *)
+          Some (List.rev acc)
+        else if Hashtbl.mem visited (placed, state) then None
+        else begin
+          Hashtbl.add visited (placed, state) ();
+          let try_op i =
+            if not (ready placed i) then None
+            else
+              let op = ops.(i) in
+              let candidates = Tp.seq op.Op.inv state in
+              let matching =
+                match op.Op.res with
+                | Some res ->
+                    List.filter
+                      (fun (_, res') -> Tp.equal_response res res')
+                      candidates
+                | None -> candidates
+              in
+              List.find_map
+                (fun (state', res) ->
+                  go
+                    (placed lor (1 lsl i))
+                    state'
+                    ((op.Op.proc, op.Op.inv, res) :: acc))
+                matching
+          in
+          let rec try_from i =
+            if i >= count then None
+            else match try_op i with Some _ as w -> w | None -> try_from (i + 1)
+          in
+          try_from 0
+        end
+      in
+      Ok (go 0 Tp.initial [])
+    end
 end

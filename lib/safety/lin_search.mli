@@ -13,9 +13,24 @@
 
     Pending operations (no response in the history) may either take
     effect — with any response the specification allows — or be dropped
-    entirely. *)
+    entirely.
+
+    The search represents operation sets as bitmasks in a single OCaml
+    [int], so histories are limited to {!max_ops} operations.  Longer
+    histories yield [Error (Too_many_ops n)] — a contract the calling
+    checkers handle, not a crash. *)
 
 open Slx_history
+
+val max_ops : int
+(** Largest operation count the bitmask search supports (62: one tagged
+    OCaml [int] of set bits). *)
+
+type error = Too_many_ops of int
+    (** The history contained this many operations, more than
+        {!max_ops}. *)
+
+val pp_error : Format.formatter -> error -> unit
 
 module Make (Tp : Object_type.S) : sig
   type op = (Tp.invocation, Tp.response) Op.t
@@ -23,11 +38,17 @@ module Make (Tp : Object_type.S) : sig
   val search :
     precedes:(op -> op -> bool) ->
     op list ->
-    (Proc.t * Tp.invocation * Tp.response) list option
-  (** [search ~precedes ops] is [Some s] where [s] is a legal
+    ((Proc.t * Tp.invocation * Tp.response) list option, error) result
+  (** [search ~precedes ops] is [Ok (Some s)] where [s] is a legal
       sequential execution of the completed operations of [ops]
-      (pending ones optionally included), respecting [precedes]; or
-      [None] if none exists.
+      (pending ones optionally included), respecting [precedes];
+      [Ok None] if none exists; or [Error (Too_many_ops n)] when [ops]
+      has [n > max_ops] operations and the bitmask search cannot run.
+
+      Precedence constraints are precomputed into one predecessor
+      bitmask per operation, so the inner readiness test is two mask
+      operations; [precedes] is called O(|ops|²) times total, once per
+      ordered pair, not per search node.
 
       Complexity is O(2^|ops| · |states|) in the worst case; intended
       for the short histories produced by bounded runs. *)

@@ -12,12 +12,15 @@ open Slx_history
 module Make (Tp : Object_type.S) : sig
   val check : (Tp.invocation, Tp.response) History.t -> bool
   (** Whether the history is linearizable w.r.t. [Tp]'s sequential
-      specification. *)
+      specification.  Fails closed: a history longer than
+      {!Lin_search.max_ops} operations is reported [false]. *)
 
   val witness :
     (Tp.invocation, Tp.response) History.t ->
-    (Proc.t * Tp.invocation * Tp.response) list option
-  (** A linearization order, if one exists. *)
+    ((Proc.t * Tp.invocation * Tp.response) list option, Lin_search.error)
+    result
+  (** A linearization order, if one exists; [Error] when the history
+      exceeds {!Lin_search.max_ops} operations. *)
 
   val property : (Tp.invocation, Tp.response) History.t Property.t
   (** The property as a first-class value, named

@@ -35,7 +35,8 @@ module Make (Tp : Object_type.S) = struct
     let points = quiescent_points h in
     Search.search ~precedes:(precedes_via_quiescence points) (Op.of_history h)
 
-  let check h = Option.is_some (witness h)
+  (* Fail closed on over-long histories, as in [Linearizability]. *)
+  let check h = match witness h with Ok w -> Option.is_some w | Error _ -> false
 
   let property =
     Property.make

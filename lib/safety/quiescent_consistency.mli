@@ -14,10 +14,12 @@ open Slx_history
 
 module Make (Tp : Object_type.S) : sig
   val check : (Tp.invocation, Tp.response) History.t -> bool
+  (** Fails closed beyond {!Lin_search.max_ops} operations. *)
 
   val witness :
     (Tp.invocation, Tp.response) History.t ->
-    (Proc.t * Tp.invocation * Tp.response) list option
+    ((Proc.t * Tp.invocation * Tp.response) list option, Lin_search.error)
+    result
 
   val property : (Tp.invocation, Tp.response) History.t Property.t
 end

@@ -3,78 +3,141 @@ open Slx_history
 type ('inv, 'res) impl = proc:Proc.t -> 'inv -> 'res
 type ('inv, 'res) factory = n:int -> ('inv, 'res) impl
 
+type ('inv, 'res) fingerprint = {
+  fp_time : int;
+  fp_history : ('inv, 'res) History.t;
+  fp_crashed : Proc.t list;
+  fp_procs : (int * int * int) list;
+  fp_shared : int;
+}
+
+module Cursor = struct
+  type ('inv, 'res) t = {
+    n : int;
+    impl : ('inv, 'res) impl;
+    registry : Runtime.registry;
+    cells : Runtime.cell array;
+    mutable history : ('inv, 'res) History.t;
+    mutable rev_event_times : int list;
+    mutable time : int;
+    mutable rev_grants : (int * Proc.t) list;
+    step_counts : int array;
+    mutable crashed : Proc.Set.t;
+    ticks : int ref;
+  }
+
+  let create ~n ~factory ?(ticks = ref 0) () =
+    let registry = Runtime.fresh_registry () in
+    let impl = Runtime.with_registry registry (fun () -> factory ~n) in
+    {
+      n;
+      impl;
+      registry;
+      cells = Array.init (n + 1) (fun _ -> Runtime.make_cell ());
+      history = History.empty;
+      rev_event_times = [];
+      time = 0;
+      rev_grants = [];
+      step_counts = Array.make (n + 1) 0;
+      crashed = Proc.Set.empty;
+      ticks;
+    }
+
+  let cell c p =
+    if not (Proc.is_valid ~n:c.n p) then invalid_arg "Runner: bad process id";
+    c.cells.(p)
+
+  let view c : _ Driver.view =
+    {
+      Driver.time = c.time;
+      n = c.n;
+      history = c.history;
+      status = (fun p -> Runtime.status (cell c p));
+      steps = (fun p -> c.step_counts.(p));
+    }
+
+  let record c e =
+    c.history <- History.append c.history e;
+    c.rev_event_times <- c.time :: c.rev_event_times
+
+  let apply c d =
+    (* Implementations may allocate base objects lazily, mid-run; keep
+       the cursor's registry current while algorithm code executes so
+       such objects are fingerprinted too. *)
+    Runtime.with_registry c.registry (fun () ->
+        (match d with
+        | Driver.Schedule p ->
+            c.rev_grants <- (c.time, p) :: c.rev_grants;
+            c.step_counts.(p) <- c.step_counts.(p) + 1;
+            Runtime.grant (cell c p)
+        | Driver.Invoke (p, inv) ->
+            record c (Event.Invocation (p, inv));
+            Runtime.spawn (cell c p) (fun () ->
+                let res = c.impl ~proc:p inv in
+                record c (Event.Response (p, res)))
+        | Driver.Crash p ->
+            if Proc.Set.mem p c.crashed then
+              invalid_arg "Runner: crashing a crashed process";
+            c.crashed <- Proc.Set.add p c.crashed;
+            record c (Event.Crash p);
+            Runtime.crash (cell c p)
+        | Driver.Stop -> invalid_arg "Runner: cannot apply Stop");
+        c.time <- c.time + 1;
+        incr c.ticks)
+
+  let report c ?window ?(stopped = `Max_steps) () =
+    let window = Option.value window ~default:(max 1 (c.time / 2)) in
+    {
+      Run_report.n = c.n;
+      history = c.history;
+      event_times = Array.of_list (List.rev c.rev_event_times);
+      grants = List.rev c.rev_grants;
+      crashed = c.crashed;
+      total_time = c.time;
+      window;
+      stopped;
+    }
+
+  let status_code = function
+    | Runtime.Idle -> 0
+    | Runtime.Ready -> 1
+    | Runtime.Crashed -> 2
+
+  let fingerprint c =
+    {
+      fp_time = c.time;
+      fp_history = c.history;
+      fp_crashed = Proc.Set.elements c.crashed;
+      fp_procs =
+        List.map
+          (fun p ->
+            let cell = c.cells.(p) in
+            (status_code (Runtime.status cell), c.step_counts.(p),
+             Runtime.obs cell))
+          (Proc.all ~n:c.n);
+      fp_shared = Runtime.registry_digest c.registry;
+    }
+end
+
 let run ~n ~factory ~driver ~max_steps ?window () =
   let window = Option.value window ~default:(max_steps / 2) in
-  let impl = factory ~n in
-  let cells = Array.init (n + 1) (fun _ -> Runtime.make_cell ()) in
-  let cell p =
-    if not (Proc.is_valid ~n p) then invalid_arg "Runner: bad process id";
-    cells.(p)
-  in
-  let history = ref History.empty in
-  let rev_event_times = ref [] in
-  let time = ref 0 in
-  let record e =
-    history := History.append !history e;
-    rev_event_times := !time :: !rev_event_times
-  in
-  let rev_grants = ref [] in
-  let step_counts = Array.make (n + 1) 0 in
-  let crashed = ref Proc.Set.empty in
-  let view () : _ Driver.view =
-    {
-      Driver.time = !time;
-      n;
-      history = !history;
-      status = (fun p -> Runtime.status (cell p));
-      steps = (fun p -> step_counts.(p));
-    }
-  in
-  let apply = function
-    | Driver.Schedule p ->
-        rev_grants := (!time, p) :: !rev_grants;
-        step_counts.(p) <- step_counts.(p) + 1;
-        Runtime.grant (cell p)
-    | Driver.Invoke (p, inv) ->
-        record (Event.Invocation (p, inv));
-        Runtime.spawn (cell p) (fun () ->
-            let res = impl ~proc:p inv in
-            record (Event.Response (p, res)))
-    | Driver.Crash p ->
-        if Proc.Set.mem p !crashed then
-          invalid_arg "Runner: crashing a crashed process";
-        crashed := Proc.Set.add p !crashed;
-        record (Event.Crash p);
-        Runtime.crash (cell p)
-    | Driver.Stop -> assert false
-  in
+  let c = Cursor.create ~n ~factory () in
   let stopped = ref `Max_steps in
   (try
-     while !time < max_steps do
-       match driver (view ()) with
+     while c.Cursor.time < max_steps do
+       match driver (Cursor.view c) with
        | Driver.Stop ->
            let quiescent =
              List.for_all
-               (fun p -> Runtime.status (cell p) <> Runtime.Ready)
+               (fun p -> Runtime.status (Cursor.cell c p) <> Runtime.Ready)
                (Proc.all ~n)
            in
            stopped := (if quiescent then `Quiescent else `Driver_stop);
            raise Exit
-       | d ->
-           apply d;
-           incr time
+       | d -> Cursor.apply c d
      done
    with Exit -> ());
-  {
-    Run_report.n;
-    history = !history;
-    event_times = Array.of_list (List.rev !rev_event_times);
-    grants = List.rev !rev_grants;
-    crashed = !crashed;
-    total_time = !time;
-    window;
-    stopped = !stopped;
-  }
+  Cursor.report c ~window ~stopped:!stopped ()
 
 let history ~n ~factory ~driver ~max_steps =
   (run ~n ~factory ~driver ~max_steps ()).Run_report.history

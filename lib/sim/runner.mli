@@ -19,6 +19,68 @@ type ('inv, 'res) factory = n:int -> ('inv, 'res) impl
 (** Creates a fresh instance of the implementation (fresh base objects,
     fresh per-process local state) for a system of [n] processes. *)
 
+type ('inv, 'res) fingerprint = {
+  fp_time : int;  (** Decisions applied so far (= scheduler ticks). *)
+  fp_history : ('inv, 'res) History.t;  (** The external history. *)
+  fp_crashed : Proc.t list;  (** Crashed processes, sorted. *)
+  fp_procs : (int * int * int) list;
+      (** Per process [1..n]: (status code, step count, observation
+          digest — see {!Runtime.obs}). *)
+  fp_shared : int;  (** Digest of all base-object states. *)
+}
+(** A canonical fingerprint of a configuration.  Two configurations
+    with equal fingerprints have (up to hash collision on the two
+    digest components) identical histories, process statuses and local
+    states, and base-object states — hence identical futures under
+    identical subsequent decisions.  They may still differ in the {e
+    timing} of past events ([Run_report.event_times] and grant times),
+    which a fingerprint deliberately abstracts away; see
+    {!Slx_core.Explore} for the resulting caveat.  Compare with
+    structural equality ([=]). *)
+
+(** A resumable run: the step-and-snapshot API behind the incremental
+    exploration engine.  A cursor holds one live instance of the
+    implementation and extends it decision by decision; [report]
+    snapshots the run so far without disturbing it.  Cursors cannot be
+    forked (suspended processes are one-shot effect continuations);
+    explorers re-establish sibling configurations by replaying their
+    decision prefix into a fresh cursor. *)
+module Cursor : sig
+  type ('inv, 'res) t
+
+  val create :
+    n:int ->
+    factory:('inv, 'res) factory ->
+    ?ticks:int ref ->
+    unit ->
+    ('inv, 'res) t
+  (** A cursor at the initial configuration of a fresh implementation
+      instance.  [ticks] (default: a private counter) is incremented on
+      every applied decision — explorers share one counter across many
+      cursors to measure runtime steps executed. *)
+
+  val view : ('inv, 'res) t -> ('inv, 'res) Driver.view
+  (** The driver-visible view of the current configuration. *)
+
+  val apply : ('inv, 'res) t -> ('inv, 'res) Driver.decision -> unit
+  (** Extend the run by one decision (one scheduler tick).  Decisions
+      are validated exactly as in {!run}; applying [Driver.Stop] raises
+      [Invalid_argument]. *)
+
+  val report :
+    ('inv, 'res) t ->
+    ?window:int ->
+    ?stopped:[ `Driver_stop | `Max_steps | `Quiescent ] ->
+    unit ->
+    ('inv, 'res) Run_report.t
+  (** Snapshot the run so far as a {!Run_report} (default [window]:
+      half the elapsed time, at least 1; default [stopped]:
+      [`Max_steps]).  The cursor remains usable. *)
+
+  val fingerprint : ('inv, 'res) t -> ('inv, 'res) fingerprint
+  (** The canonical fingerprint of the current configuration. *)
+end
+
 val run :
   n:int ->
   factory:('inv, 'res) factory ->

@@ -9,6 +9,59 @@ exception Killed
 
 type status = Idle | Ready | Crashed
 
+(* Deep-ish structural hash used for all fingerprint components: the
+   default [Hashtbl.hash] only looks at 10 meaningful nodes, far too
+   shallow to distinguish configurations. *)
+let hash_value v = Hashtbl.hash_param 256 512 v
+
+(* FNV-style combination; commutative only by accident of inputs, so
+   callers must fold in a fixed order. *)
+let combine h v = (h * 0x01000193) lxor (v land max_int)
+
+(* ------------------------------------------------------------------ *)
+(* Shared-state fingerprint registry.
+
+   Base objects cannot be inspected from outside (their state lives in
+   closures), so each constructor registers a reader that digests its
+   current state.  The registry in effect while an implementation
+   instance is alive collects the readers of every base object that
+   instance allocates; the explorer folds them into configuration
+   fingerprints.  The "current registry" is domain-local so parallel
+   explorers do not observe each other's allocations. *)
+
+type registry = (unit -> int) list ref
+
+let current_registry : registry option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let fresh_registry () : registry = ref []
+
+let register_object reader =
+  match !(Domain.DLS.get current_registry) with
+  | None -> ()
+  | Some reg -> reg := reader :: !reg
+
+let with_registry reg f =
+  let slot = Domain.DLS.get current_registry in
+  let saved = !slot in
+  slot := Some reg;
+  match f () with
+  | x ->
+      slot := saved;
+      x
+  | exception e ->
+      slot := saved;
+      raise e
+
+let registry_digest (reg : registry) =
+  (* Readers are stored in reverse registration order; any fixed order
+     works as long as two instances of the same factory agree, which
+     they do (allocation order is deterministic). *)
+  List.fold_left (fun acc reader -> combine acc (reader ())) 0x811c9dc5 !reg
+
+(* ------------------------------------------------------------------ *)
+(* Cells.                                                              *)
+
 (* A suspended process is a pair of one-shot closures sharing a [used]
    flag: [resume] executes the pending atomic action and runs to the
    next suspension point; [kill] unwinds the computation with
@@ -17,15 +70,17 @@ type suspended = { resume : unit -> unit; kill : unit -> unit }
 
 type slot = S_idle | S_ready of suspended | S_crashed
 
-type cell = { mutable slot : slot }
+type cell = { mutable slot : slot; mutable obs : int }
 
-let make_cell () = { slot = S_idle }
+let make_cell () = { slot = S_idle; obs = 0x811c9dc5 }
 
 let status cell =
   match cell.slot with
   | S_idle -> Idle
   | S_ready _ -> Ready
   | S_crashed -> Crashed
+
+let obs cell = cell.obs
 
 let handler cell =
   {
@@ -43,7 +98,15 @@ let handler cell =
                 let resume () =
                   if !used then invalid_arg "Runtime: continuation reused";
                   used := true;
-                  continue k (f ())
+                  let v = f () in
+                  (* The local state of the process after this step is a
+                     deterministic function of its invocations (recorded
+                     in the history) and the results of its atomic
+                     actions; folding the result hashes gives an
+                     observation digest that stands in for the opaque
+                     continuation when fingerprinting configurations. *)
+                  cell.obs <- combine cell.obs (hash_value v);
+                  continue k v
                 in
                 let kill () =
                   if not !used then begin

@@ -59,3 +59,52 @@ val crash : cell -> unit
 (** [crash cell] crashes the process: its computation is unwound with
     {!Killed} and the cell becomes [Crashed].  Idempotent on crashed
     cells; legal on idle cells (the process just never steps again). *)
+
+(** {1 Configuration fingerprinting}
+
+    The exploration engine ({!Slx_core.Explore}) prunes schedule
+    prefixes that reach the same configuration.  A configuration has
+    two opaque components this module makes observable as digests:
+
+    - the {e local state} of each process, hidden inside its suspended
+      continuation.  Because algorithm code between atomic steps is
+      purely local, that state is a deterministic function of the
+      process's invocations (already in the history) and of the results
+      of its atomic actions; each cell therefore folds the hash of
+      every atomic result into an {e observation digest};
+    - the {e shared state} of the base objects, hidden inside the
+      closures of {!Slx_base_objects}.  Every base-object constructor
+      registers a state reader with the registry in effect at
+      allocation time; folding the readers digests the shared state.
+
+    Digests are hashes: two configurations with equal digests are equal
+    up to hash collision (made unlikely by {!hash_value}'s deep
+    traversal), a standard model-checking trade-off. *)
+
+val obs : cell -> int
+(** The observation digest of the process: a fold of the hashes of
+    every atomic-action result it has received so far. *)
+
+type registry
+(** A collection of shared-state readers, one per base object allocated
+    while the registry was current. *)
+
+val fresh_registry : unit -> registry
+
+val with_registry : registry -> (unit -> 'a) -> 'a
+(** [with_registry reg f] runs [f] with [reg] as the current registry
+    (restoring the previous one afterwards, exceptions included).  The
+    current registry is domain-local. *)
+
+val register_object : (unit -> int) -> unit
+(** Called by base-object constructors: adds a reader returning a hash
+    of the object's current state to the current registry.  A no-op
+    when no registry is current (plain {!Runner.run}s pay nothing). *)
+
+val registry_digest : registry -> int
+(** Fold of all registered readers — a digest of the current shared
+    state of every base object in the registry. *)
+
+val hash_value : 'a -> int
+(** The deep structural hash used for every fingerprint component
+    ([Hashtbl.hash_param] with wide limits). *)

@@ -385,6 +385,114 @@ let test_explore_finds_selfish_counterexample () =
       check_bool "counterexample really violates safety" false
         (Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history)
 
+let explore_selfish ?cache ?domains engine =
+  let check r =
+    Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history
+  in
+  let factory () = Slx_consensus.Selfish_consensus.factory () in
+  match engine with
+  | `Naive ->
+      Explore.explore_naive ~n:2 ~factory ~invoke:one_proposal ~depth:6 ~check
+        ()
+  | `Incremental ->
+      Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:6 ?cache
+        ?domains ~check ()
+
+let selfish_witness =
+  (* The lexicographically least failing script: in the canonical menu
+     order process 1's invocation comes first, then process 2's, and the
+     selfish implementation decides its own value already during the
+     invocation — two decisions, two different values. *)
+  [
+    Slx_sim.Driver.Invoke (1, Slx_consensus.Consensus_type.Propose 0);
+    Slx_sim.Driver.Invoke (2, Slx_consensus.Consensus_type.Propose 1);
+  ]
+
+let decision_testable =
+  Alcotest.testable
+    (fun fmt d ->
+      match d with
+      | Slx_sim.Driver.Schedule p -> Format.fprintf fmt "S%d" p
+      | Slx_sim.Driver.Invoke (p, Slx_consensus.Consensus_type.Propose v) ->
+          Format.fprintf fmt "I%d(%d)" p v
+      | Slx_sim.Driver.Crash p -> Format.fprintf fmt "C%d" p
+      | Slx_sim.Driver.Stop -> Format.fprintf fmt "stop")
+    ( = )
+
+let test_explore_witness_is_deterministic () =
+  (* Satellite (c): every engine configuration — naive, incremental,
+     cache off, several domains — reports the same counterexample, the
+     one with the lexicographically least decision script. *)
+  let configs =
+    [
+      ("naive", explore_selfish `Naive);
+      ("incremental", explore_selfish `Incremental);
+      ("no-cache", explore_selfish ~cache:false `Incremental);
+      ("domains-3", explore_selfish ~domains:3 `Incremental);
+      ("domains-8", explore_selfish ~domains:8 `Incremental);
+    ]
+  in
+  List.iter
+    (fun (name, e) ->
+      match (e.Explore.outcome, e.Explore.witness_script) with
+      | Explore.Counterexample _, Some script ->
+          Alcotest.(check (list decision_testable))
+            (name ^ " pins the least witness script") selfish_witness script
+      | Explore.Counterexample _, None ->
+          Alcotest.fail (name ^ ": counterexample without witness script")
+      | Explore.Ok _, _ -> Alcotest.fail (name ^ ": missed the violation"))
+    configs
+
+let test_explore_stats_sanity () =
+  let check r =
+    Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history
+  in
+  let factory () = Slx_consensus.Cas_consensus.factory () in
+  let inc =
+    Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:10 ~check ()
+  in
+  let naive =
+    Explore.explore_naive ~n:2 ~factory ~invoke:one_proposal ~depth:10 ~check
+      ()
+  in
+  let s = inc.Explore.stats and ns = naive.Explore.stats in
+  check_int "both engines count the same maximal runs" ns.Explore_stats.runs
+    s.Explore_stats.runs;
+  check_bool "same multiset of final histories" true
+    (s.Explore_stats.history_digest = ns.Explore_stats.history_digest);
+  check_bool "cache prunes something" true (s.Explore_stats.cache_hits > 0);
+  check_bool "in-place extension avoids replays" true
+    (s.Explore_stats.replays_avoided > 0);
+  check_bool "incremental executes fewer steps" true
+    (s.Explore_stats.steps_executed < ns.Explore_stats.steps_executed);
+  check_bool "check ran on fewer runs than were credited" true
+    (s.Explore_stats.runs_checked <= s.Explore_stats.runs);
+  check_int "naive replays at every node" ns.Explore_stats.steps_executed
+    ns.Explore_stats.steps_replayed
+
+let test_explore_parallel_matches_sequential () =
+  let check r =
+    Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history
+  in
+  let factory () = Slx_consensus.Cas_consensus.factory () in
+  let seq =
+    Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:10 ~check ()
+  in
+  let par =
+    Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:10 ~domains:3
+      ~check ()
+  in
+  (match (seq.Explore.outcome, par.Explore.outcome) with
+  | Explore.Ok a, Explore.Ok b -> check_int "same run count" a b
+  | _ -> Alcotest.fail "CAS consensus must be safe in both engines");
+  check_bool "same history digest" true
+    (seq.Explore.stats.Explore_stats.history_digest
+    = par.Explore.stats.Explore_stats.history_digest);
+  check_bool "fanned out" true (par.Explore.stats.Explore_stats.domains_used > 1);
+  check_int "per-domain runs sum to the total"
+    par.Explore.stats.Explore_stats.runs
+    (List.fold_left ( + ) 0 par.Explore.stats.Explore_stats.per_domain_runs)
+
 (* One start-tryC transaction per process, derived from the history. *)
 let one_txn view p =
   let h = History.project view.Slx_sim.Driver.history p in
@@ -463,6 +571,9 @@ let suites =
         quick "selfish foil: counterexample found" test_explore_finds_selfish_counterexample;
         quick "AGP: all schedules opaque" test_explore_agp_opacity_all_schedules;
         quick "crash branching" test_explore_with_crashes;
+        quick "deterministic least witness" test_explore_witness_is_deterministic;
+        quick "stats sanity" test_explore_stats_sanity;
+        quick "parallel matches sequential" test_explore_parallel_matches_sequential;
       ] );
     ( "core-figure1",
       [

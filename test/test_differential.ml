@@ -180,9 +180,110 @@ let prop_opacity_matches_brute_force =
       in
       agree h && agree (mutate h))
 
+(* ------------------------------------------------------------------ *)
+(* Differential validation of the exploration engines: the incremental
+   cached (and parallel) explorer must visit exactly the maximal runs
+   the retained naive replay reference visits.  Cache-off engines are
+   compared on the exact multiset of final histories (collected through
+   the check callback); cached engines never materialize pruned runs,
+   so they are compared on the run count and the order-insensitive
+   history digest the engines maintain for precisely this purpose.     *)
+
+open Slx_core
+
+let explorer_equivalence name ~factory ~invoke ~depth ~max_crashes =
+  let collect acc r =
+    acc := Slx_sim.Runtime.hash_value r.Run_report.history :: !acc;
+    true
+  in
+  let multiset acc = List.sort compare !acc in
+  let naive_hist = ref [] in
+  let naive =
+    Explore.explore_naive ~n:2 ~factory ~invoke ~depth ~max_crashes
+      ~check:(collect naive_hist) ()
+  in
+  let nocache_hist = ref [] in
+  let nocache =
+    Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes ~cache:false
+      ~check:(collect nocache_hist) ()
+  in
+  (* Exact multiset of final histories, run by run. *)
+  check_bool
+    (name ^ ": cache-off engine visits the identical run multiset")
+    true
+    (multiset naive_hist = multiset nocache_hist);
+  let runs e =
+    match e.Explore.outcome with
+    | Explore.Ok n -> n
+    | Explore.Counterexample _ -> Alcotest.fail (name ^ ": unexpected violation")
+  in
+  let digest e = e.Explore.stats.Explore_stats.history_digest in
+  check_int (name ^ ": cache-off run count") (runs naive) (runs nocache);
+  (* Cached engines, sequential and fanned out: count + digest. *)
+  let check r = ignore (r : _ Run_report.t); true in
+  let cached =
+    Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes ~check ()
+  in
+  let parallel =
+    Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes ~domains:3
+      ~check ()
+  in
+  List.iter
+    (fun (engine, e) ->
+      check_int (name ^ ": " ^ engine ^ " run count") (runs naive) (runs e);
+      check_bool (name ^ ": " ^ engine ^ " history digest") true
+        (digest naive = digest e))
+    [ ("cached", cached); ("parallel", parallel) ]
+
+let one_proposal =
+  Explore.workload_invoke
+    (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
+
+let one_txn view p =
+  let h = History.project view.Driver.history p in
+  let has inv =
+    History.count (fun e -> Event.invocation e = Some inv) h > 0
+  in
+  if not (has Tm_type.Start) then Some Tm_type.Start
+  else if not (has Tm_type.Try_commit) then Some Tm_type.Try_commit
+  else None
+
+let test_explorers_agree_consensus () =
+  explorer_equivalence "cas-consensus"
+    ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+    ~invoke:one_proposal ~depth:8 ~max_crashes:0
+
+let test_explorers_agree_consensus_crashes () =
+  explorer_equivalence "cas-consensus-crashes"
+    ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+    ~invoke:one_proposal ~depth:7 ~max_crashes:1
+
+let test_explorers_agree_register_consensus () =
+  explorer_equivalence "register-consensus"
+    ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+    ~invoke:one_proposal ~depth:8 ~max_crashes:0
+
+let test_explorers_agree_tm () =
+  explorer_equivalence "agp-tm"
+    ~factory:(fun () -> Agp_tm.factory ~vars:1)
+    ~invoke:one_txn ~depth:8 ~max_crashes:0
+
+let test_explorers_agree_tm_crashes () =
+  explorer_equivalence "agp-tm-crashes"
+    ~factory:(fun () -> Agp_tm.factory ~vars:1)
+    ~invoke:one_txn ~depth:6 ~max_crashes:1
+
 let suites =
   [
     ( "differential",
       qcheck [ prop_lin_matches_brute_force; prop_opacity_matches_brute_force ]
     );
+    ( "differential-explore",
+      [
+        quick "consensus run set" test_explorers_agree_consensus;
+        quick "consensus run set, crashes" test_explorers_agree_consensus_crashes;
+        quick "register consensus run set" test_explorers_agree_register_consensus;
+        quick "TM run set" test_explorers_agree_tm;
+        quick "TM run set, crashes" test_explorers_agree_tm_crashes;
+      ] );
   ]

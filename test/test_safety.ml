@@ -20,7 +20,8 @@ let test_sequential_history_linearizable () =
     h_of [ inv 1 (write 1); res 1 ok; inv 2 read; res 2 (value 1) ]
   in
   check_bool "sequential legal history" true (Lin.check h);
-  check_bool "witness exists" true (Option.is_some (Lin.witness h))
+  check_bool "witness exists" true
+    (match Lin.witness h with Ok w -> Option.is_some w | Error _ -> false)
 
 let test_stale_read_not_linearizable () =
   (* write(1) completes before the read is invoked, yet the read
@@ -181,8 +182,45 @@ let prop_witness_matches_check =
   QCheck2.Test.make ~name:"witness is Some iff check" ~count:150
     ~print:register_history_print
     (well_formed_register_history_gen ~n:3 ~len:8)
-    (fun h -> Option.is_some (Lin.witness h) = Lin.check h)
+    (fun h ->
+      (match Lin.witness h with Ok w -> Option.is_some w | Error _ -> false)
+      = Lin.check h)
 
+
+(* Search-engine contract: hot-path regression and the op-count limit. *)
+
+let sequential_register_history ~ops =
+  (* [ops] completed operations, alternating writes and reads across
+     three processes, every response legal. *)
+  let events = ref [] in
+  for k = ops - 1 downto 0 do
+    let p = 1 + (k mod 3) in
+    if k mod 2 = 0 then events := inv p (write k) :: res p ok :: !events
+    else events := inv p read :: res p (value (k - 1)) :: !events
+  done;
+  h_of !events
+
+let test_long_history_linearizes_quickly () =
+  (* Regression for the search hot path: [ready] used to rebuild the
+     op array and rescan [precedes] at every probe, making 20-op
+     histories crawl.  With precomputed predecessor masks this is
+     instant; Alcotest's own timeout is the bound. *)
+  let h = sequential_register_history ~ops:20 in
+  check_bool "20-op history linearizable" true (Lin.check h);
+  check_bool "20-op witness found" true
+    (match Lin.witness h with Ok w -> Option.is_some w | Error _ -> false)
+
+let test_too_many_ops_is_typed_error () =
+  (* Beyond [Lin_search.max_ops] the bitmask search cannot run.  This
+     used to raise [Invalid_argument] out of the checker; it is now a
+     typed error, and [check] fails closed instead of crashing. *)
+  let ops = Lin_search.max_ops + 1 in
+  let h = sequential_register_history ~ops in
+  (match Lin.witness h with
+  | Error (Lin_search.Too_many_ops n) -> check_int "reported op count" ops n
+  | Ok _ -> Alcotest.fail "expected Too_many_ops");
+  check_bool "check fails closed" false (Lin.check h);
+  check_bool "SC fails closed too" false (Sc.check h)
 
 (* Quiescent consistency: the third condition. *)
 
@@ -243,6 +281,8 @@ let suites =
         quick "consensus late proposer adopts" test_consensus_late_proposer_adopts;
         quick "property combinators" test_property_combinators;
         quick "prefix closure helpers" test_prefix_closure_helpers;
+        quick "20-op history linearizes quickly" test_long_history_linearizes_quickly;
+        quick "too many ops is a typed error" test_too_many_ops_is_typed_error;
         quick "QC respects quiescent separation" test_qc_respects_quiescent_separation;
         quick "QC ignores program order" test_qc_ignores_program_order;
         quick "QC on sequential histories" test_qc_sequential_histories;
