@@ -585,6 +585,38 @@ let e16_exhaustive_verification () =
          (max 1 consensus.Explore.stats.Explore_stats.steps_executed))
     consensus.Explore.stats.Explore_stats.cache_hits
     consensus.Explore.stats.Explore_stats.replays_avoided;
+  let reduced =
+    Explore.explore ~n:2
+      ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+      ~invoke:one_proposal ~depth:10 ~por:true ~symmetry:true
+      ~check:(fun r ->
+        Slx_consensus.Consensus_safety.check r.Run_report.history)
+      ()
+  in
+  let plain =
+    Explore.explore ~n:2
+      ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+      ~invoke:one_proposal ~depth:10
+      ~check:(fun r ->
+        Slx_consensus.Consensus_safety.check r.Run_report.history)
+      ()
+  in
+  let reduced_ok =
+    match (reduced.Explore.outcome, plain.Explore.outcome) with
+    | Explore.Ok _, Explore.Ok _ -> true
+    | _ -> false
+  in
+  Printf.printf
+    "    reductions (register depth 10): plain %d steps vs POR+symmetry %d \
+     steps (%.2fx); %d slept, %d pruned, %d of %d representative runs\n"
+    plain.Explore.stats.Explore_stats.steps_executed
+    reduced.Explore.stats.Explore_stats.steps_executed
+    (float_of_int plain.Explore.stats.Explore_stats.steps_executed
+    /. float_of_int (max 1 reduced.Explore.stats.Explore_stats.steps_executed))
+    reduced.Explore.stats.Explore_stats.por_sleeps
+    reduced.Explore.stats.Explore_stats.symmetry_pruned
+    reduced.Explore.stats.Explore_stats.runs
+    plain.Explore.stats.Explore_stats.runs;
   let one_txn view p =
     let h = Slx_history.History.project view.Driver.history p in
     let has inv =
@@ -615,7 +647,7 @@ let e16_exhaustive_verification () =
       (Printf.sprintf
          "CAS consensus: %d schedules (with crashes) ok=%b; AGP: %d schedules ok=%b"
          consensus_runs consensus_ok tm_runs tm_ok)
-    (consensus_ok && tm_ok)
+    (consensus_ok && tm_ok && reduced_ok)
 
 let e17_blocking_vs_non_blocking () =
   section "E17. Extension - blocking vs non-blocking TMs under crashes";

@@ -153,6 +153,29 @@ let explore_tests =
                     ())));
       ])
     [ 6; 8; 10 ]
+  @ [
+      (* The reduced engine (POR + symmetry) on the branchier
+         register-consensus tree, against the plain incremental engine
+         on the same instance. *)
+      Test.make ~name:"explore/register-consensus-depth-10-reduced"
+        (Staged.stage (fun () ->
+             ignore
+               (Slx_core.Explore.explore ~n:2
+                  ~factory:(fun () ->
+                    Slx_consensus.Register_consensus.factory ())
+                  ~invoke:one_proposal ~depth:10 ~por:true ~symmetry:true
+                  ~check:(fun _ -> true)
+                  ())));
+      Test.make ~name:"explore/register-consensus-depth-10"
+        (Staged.stage (fun () ->
+             ignore
+               (Slx_core.Explore.explore ~n:2
+                  ~factory:(fun () ->
+                    Slx_consensus.Register_consensus.factory ())
+                  ~invoke:one_proposal ~depth:10
+                  ~check:(fun _ -> true)
+                  ())));
+    ]
 
 (* P4e: TM checker family on one fixed history. *)
 let checker_family_tests =

@@ -1,0 +1,61 @@
+(* Domain-scaling measurement for the work-stealing explorer: the same
+   depth-8 CAS exploration at 1 and 4 domains, wall clock and
+   per-domain load split.  Emits the JSON recorded under "scaling" in
+   BENCH_explore.json.  Run with `dune exec bench/main.exe scaling` —
+   preferably on a machine with >= 4 cores; on fewer cores the domains
+   time-slice and the ratio reflects scheduling overhead, not
+   parallelism (the recommended_domain_count is printed so the reader
+   can judge). *)
+
+open Slx_sim
+
+let one_proposal =
+  Slx_core.Explore.workload_invoke
+    (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
+
+let check r = Slx_consensus.Consensus_safety.check r.Run_report.history
+
+let time_explore ~domains ~repeat =
+  (* Minimum of [repeat] timings: less noise than the mean under
+     container scheduling jitter. *)
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to repeat do
+    let t0 = Unix.gettimeofday () in
+    let e =
+      Slx_core.Explore.explore ~n:2
+        ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+        ~invoke:one_proposal ~depth:8 ~max_crashes:1 ~domains ~check ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some e
+  done;
+  (!best, Option.get !last)
+
+let run () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "== bench scaling: work-stealing fan-out (depth-8 CAS) ==\n";
+  Printf.printf "  recommended_domain_count: %d\n" cores;
+  let t1, e1 = time_explore ~domains:1 ~repeat:5 in
+  let t4, e4 = time_explore ~domains:4 ~repeat:5 in
+  let runs e = e.Slx_core.Explore.stats.Slx_core.Explore_stats.runs in
+  let st4 = e4.Slx_core.Explore.stats in
+  let speedup = t1 /. max 1e-9 t4 in
+  Printf.printf
+    "  {\"case\": \"cas-depth-8-crashes-1-domains\", \"cores\": %d, \
+     \"domains_1_ns\": %.0f, \"domains_4_ns\": %.0f, \"speedup\": %.2f, \
+     \"steals\": %d, \"per_domain_steps\": [%s]}\n"
+    cores (t1 *. 1e9) (t4 *. 1e9) speedup
+    st4.Slx_core.Explore_stats.steals
+    (String.concat ", "
+       (List.map string_of_int st4.Slx_core.Explore_stats.per_domain_steps));
+  if runs e1 <> runs e4 then begin
+    Printf.printf "  SCALING FAILURE: run counts differ (%d vs %d)\n" (runs e1)
+      (runs e4);
+    false
+  end
+  else begin
+    Printf.printf "  verdicts agree across domain counts (%d runs)\n" (runs e1);
+    true
+  end

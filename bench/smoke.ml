@@ -1,17 +1,29 @@
-(* Bench smoke: a single tiny exploration (depth 8, one iteration per
-   engine) cheap enough to run on every `dune runtest`, asserting the
-   incremental engine's headline property — at least 3x fewer runtime
-   steps than naive replay on depth-8 CAS consensus — and emitting the
-   JSON recorded in BENCH_explore.json. *)
+(* Bench smoke: tiny explorations (one iteration per engine) cheap
+   enough to run on every `dune runtest`, asserting the engine's two
+   headline properties — the incremental engine executes at least 3x
+   fewer runtime steps than naive replay on depth-8 CAS consensus, and
+   the POR+symmetry reduced engine at least 3x fewer again than the
+   plain incremental engine on depth-10 register consensus — and
+   emitting the JSON rows recorded in BENCH_explore.json. *)
 
 open Slx_sim
 
+let one_proposal =
+  Slx_core.Explore.workload_invoke
+    (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
+
+let check r = Slx_consensus.Consensus_safety.check r.Run_report.history
+
+let steps e = e.Slx_core.Explore.stats.Slx_core.Explore_stats.steps_executed
+let runs e = e.Slx_core.Explore.stats.Slx_core.Explore_stats.runs
+let digest e = e.Slx_core.Explore.stats.Slx_core.Explore_stats.history_digest
+
+let safe e =
+  match e.Slx_core.Explore.outcome with
+  | Slx_core.Explore.Ok _ -> true
+  | Slx_core.Explore.Counterexample _ -> false
+
 let explore_pair ~impl ~factory ~depth ~max_crashes =
-  let one_proposal =
-    Slx_core.Explore.workload_invoke
-      (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
-  in
-  let check r = Slx_consensus.Consensus_safety.check r.Run_report.history in
   let inc =
     Slx_core.Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth
       ~max_crashes ~check ()
@@ -19,11 +31,6 @@ let explore_pair ~impl ~factory ~depth ~max_crashes =
   let naive =
     Slx_core.Explore.explore_naive ~n:2 ~factory ~invoke:one_proposal ~depth
       ~max_crashes ~check ()
-  in
-  let steps e = e.Slx_core.Explore.stats.Slx_core.Explore_stats.steps_executed in
-  let runs e = e.Slx_core.Explore.stats.Slx_core.Explore_stats.runs in
-  let digest e =
-    e.Slx_core.Explore.stats.Slx_core.Explore_stats.history_digest
   in
   let ratio = float_of_int (steps naive) /. float_of_int (max 1 (steps inc)) in
   Printf.printf
@@ -40,6 +47,35 @@ let explore_pair ~impl ~factory ~depth ~max_crashes =
       (digest inc <> digest naive);
   (ratio, equivalent)
 
+(* The reduced engine (POR + symmetry) against the plain incremental
+   engine on the same instance: the reductions must agree on the
+   verdict (representative runs, not the full multiset) and cut the
+   executed steps by at least [bar]. *)
+let explore_reduced ~impl ~factory ~depth ~max_crashes =
+  let inc =
+    Slx_core.Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth
+      ~max_crashes ~check ()
+  in
+  let red =
+    Slx_core.Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth
+      ~max_crashes ~por:true ~symmetry:true ~check ()
+  in
+  let ratio = float_of_int (steps inc) /. float_of_int (max 1 (steps red)) in
+  let st = red.Slx_core.Explore.stats in
+  Printf.printf
+    "  {\"case\": \"%s-depth-%d-crashes-%d\", \"incremental_steps\": %d, \
+     \"reduced_steps\": %d, \"ratio\": %.2f, \"representative_runs\": %d, \
+     \"por_sleeps\": %d, \"symmetry_pruned\": %d}\n"
+    impl depth max_crashes (steps inc) (steps red) ratio (runs red)
+    st.Slx_core.Explore_stats.por_sleeps
+    st.Slx_core.Explore_stats.symmetry_pruned;
+  let agree = safe inc = safe red in
+  if not agree then
+    Printf.printf
+      "  SMOKE FAILURE: reduced engine verdict differs (safe %b vs %b)\n"
+      (safe inc) (safe red);
+  (ratio, agree)
+
 let run () =
   Printf.printf "== bench smoke: incremental explorer vs naive replay ==\n";
   let cas_ratio, cas_eq =
@@ -52,8 +88,19 @@ let run () =
       ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
       ~depth:8 ~max_crashes:1
   in
-  let ok = cas_ratio >= 3.0 && crash_ratio >= 3.0 && cas_eq && crash_eq in
-  Printf.printf "smoke %s: depth-8 step ratios %.2fx / %.2fx (bar: 3x)\n"
+  Printf.printf "== bench smoke: POR+symmetry vs plain incremental ==\n";
+  let red_ratio, red_eq =
+    explore_reduced ~impl:"register"
+      ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+      ~depth:10 ~max_crashes:0
+  in
+  let ok =
+    cas_ratio >= 3.0 && crash_ratio >= 3.0 && red_ratio >= 3.0 && cas_eq
+    && crash_eq && red_eq
+  in
+  Printf.printf
+    "smoke %s: depth-8 incremental ratios %.2fx / %.2fx, depth-10 reduction \
+     ratio %.2fx (bar: 3x each)\n"
     (if ok then "OK" else "FAILED")
-    cas_ratio crash_ratio;
+    cas_ratio crash_ratio red_ratio;
   ok

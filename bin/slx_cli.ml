@@ -279,12 +279,35 @@ let explore_cmd =
     Arg.(value & flag
          & info [ "no-cache" ] ~doc:"Disable the transposition cache.")
   in
+  let cache_capacity_arg =
+    let doc =
+      "Bound the transposition cache to this many entries per domain \
+       (clock eviction); unbounded by default."
+    in
+    Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~doc)
+  in
+  let no_por_arg =
+    Arg.(value & flag
+         & info [ "no-por" ]
+             ~doc:"Disable sleep-set partial-order reduction.")
+  in
+  let no_symmetry_arg =
+    Arg.(value & flag
+         & info [ "no-symmetry" ]
+             ~doc:"Disable symmetry reduction of untouched processes.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the verdict and full statistics as one JSON object.")
+  in
   let naive_arg =
     Arg.(value & flag
          & info [ "naive" ]
              ~doc:"Use the replay-from-scratch reference engine.")
   in
-  let run impl depth max_crashes domains no_cache naive =
+  let run impl depth max_crashes domains no_cache cache_capacity no_por
+      no_symmetry json naive =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -314,28 +337,43 @@ let explore_cmd =
               else domains
             in
             Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes
-              ~cache:(not no_cache) ~domains ~check ()
+              ~cache:(not no_cache) ?cache_capacity ~por:(not no_por)
+              ~symmetry:(not no_symmetry) ~domains ~check ()
         in
-        (match e.Explore.outcome with
-        | Explore.Ok runs ->
-            Printf.printf "safe on all %d bounded schedules\n" runs
-        | Explore.Counterexample r ->
-            Format.printf "counterexample: %a@." Consensus_type.pp_history
-              r.Slx_sim.Run_report.history;
-            let pp_d fmt = function
-              | Slx_sim.Driver.Schedule p -> Format.fprintf fmt "S%d" p
-              | Slx_sim.Driver.Invoke (p, Consensus_type.Propose v) ->
-                  Format.fprintf fmt "I%d(%d)" p v
-              | Slx_sim.Driver.Crash p -> Format.fprintf fmt "C%d" p
-              | Slx_sim.Driver.Stop -> Format.fprintf fmt "stop"
-            in
-            Option.iter
-              (fun script ->
-                Format.printf "witness script: %a@."
-                  (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_d)
-                  script)
-              e.Explore.witness_script);
-        Format.printf "%a@." Explore_stats.pp e.Explore.stats;
+        if json then begin
+          let outcome, runs =
+            match e.Explore.outcome with
+            | Explore.Ok runs -> ("ok", runs)
+            | Explore.Counterexample _ -> ("counterexample", 0)
+          in
+          Printf.printf
+            "{\"impl\": %S, \"depth\": %d, \"max_crashes\": %d, \
+             \"outcome\": %S, \"runs\": %d, \"stats\": %s}\n"
+            impl depth max_crashes outcome runs
+            (Explore_stats.to_json e.Explore.stats)
+        end
+        else begin
+          (match e.Explore.outcome with
+          | Explore.Ok runs ->
+              Printf.printf "safe on all %d bounded schedules\n" runs
+          | Explore.Counterexample r ->
+              Format.printf "counterexample: %a@." Consensus_type.pp_history
+                r.Slx_sim.Run_report.history;
+              let pp_d fmt = function
+                | Slx_sim.Driver.Schedule p -> Format.fprintf fmt "S%d" p
+                | Slx_sim.Driver.Invoke (p, Consensus_type.Propose v) ->
+                    Format.fprintf fmt "I%d(%d)" p v
+                | Slx_sim.Driver.Crash p -> Format.fprintf fmt "C%d" p
+                | Slx_sim.Driver.Stop -> Format.fprintf fmt "stop"
+              in
+              Option.iter
+                (fun script ->
+                  Format.printf "witness script: %a@."
+                    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_d)
+                    script)
+                e.Explore.witness_script);
+          Format.printf "%a@." Explore_stats.pp e.Explore.stats
+        end;
         0
       end
   in
@@ -344,7 +382,8 @@ let explore_cmd =
        ~doc:"Exhaustively check consensus safety on every bounded schedule")
     Term.(
       const run $ impl_arg $ depth_arg $ crashes_arg $ domains_arg
-      $ no_cache_arg $ naive_arg)
+      $ no_cache_arg $ cache_capacity_arg $ no_por_arg $ no_symmetry_arg
+      $ json_arg $ naive_arg)
 
 let () =
   let info =

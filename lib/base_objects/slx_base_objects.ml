@@ -1,95 +1,115 @@
-let atomic = Slx_sim.Runtime.atomic
-
 (* Every constructor registers a state reader with the fingerprint
    registry currently in effect (a no-op outside the explorer), so the
    exploration engine can digest the shared state of a configuration.
-   See Runtime's "Configuration fingerprinting" section. *)
+   Registration also yields the object's footprint id: every primitive
+   declares, via [atomic_access], which object it touches and whether
+   it writes, so the explorer's partial-order reduction can recognize
+   commuting steps.  See Runtime's "Configuration fingerprinting" and
+   "Access footprints" sections. *)
 let fingerprinted state read =
   Slx_sim.Runtime.register_object (fun () ->
-      Slx_sim.Runtime.hash_value (read state));
-  state
+      Slx_sim.Runtime.hash_value (read state))
+
+let reads ~obj f = Slx_sim.Runtime.atomic_access ~obj ~write:false f
+let writes ~obj f = Slx_sim.Runtime.atomic_access ~obj ~write:true f
 
 module Register = struct
-  type 'a t = 'a ref
+  type 'a t = { st : 'a ref; obj : int }
 
-  let make v = fingerprinted (ref v) ( ! )
-  let read r = atomic (fun () -> !r)
-  let write r v = atomic (fun () -> r := v)
+  let make v =
+    let st = ref v in
+    { st; obj = fingerprinted st ( ! ) }
+
+  let read r = reads ~obj:r.obj (fun () -> !(r.st))
+  let write r v = writes ~obj:r.obj (fun () -> r.st := v)
 end
 
 module Cas = struct
-  type 'a t = 'a ref
+  type 'a t = { st : 'a ref; obj : int }
 
-  let make v = fingerprinted (ref v) ( ! )
-  let read r = atomic (fun () -> !r)
+  let make v =
+    let st = ref v in
+    { st; obj = fingerprinted st ( ! ) }
+
+  let read r = reads ~obj:r.obj (fun () -> !(r.st))
 
   let compare_and_swap r ~expected ~desired =
-    atomic (fun () ->
-        if !r = expected then begin
-          r := desired;
+    writes ~obj:r.obj (fun () ->
+        if !(r.st) = expected then begin
+          r.st := desired;
           true
         end
         else false)
 end
 
 module Test_and_set = struct
-  type t = bool ref
+  type t = { st : bool ref; obj : int }
 
-  let make () = fingerprinted (ref false) ( ! )
+  let make () =
+    let st = ref false in
+    { st; obj = fingerprinted st ( ! ) }
 
   let test_and_set r =
-    atomic (fun () ->
-        if !r then false
+    writes ~obj:r.obj (fun () ->
+        if !(r.st) then false
         else begin
-          r := true;
+          r.st := true;
           true
         end)
 
-  let reset r = atomic (fun () -> r := false)
+  let reset r = writes ~obj:r.obj (fun () -> r.st := false)
 
-  let read r = atomic (fun () -> !r)
+  let read r = reads ~obj:r.obj (fun () -> !(r.st))
 end
 
 module Fetch_and_add = struct
-  type t = int ref
+  type t = { st : int ref; obj : int }
 
-  let make v = fingerprinted (ref v) ( ! )
+  let make v =
+    let st = ref v in
+    { st; obj = fingerprinted st ( ! ) }
 
   let fetch_and_add r d =
-    atomic (fun () ->
-        let old = !r in
-        r := old + d;
+    writes ~obj:r.obj (fun () ->
+        let old = !(r.st) in
+        r.st := old + d;
         old)
 
-  let read r = atomic (fun () -> !r)
+  let read r = reads ~obj:r.obj (fun () -> !(r.st))
 end
 
 module Queue = struct
-  type 'a t = 'a list ref  (* front of the queue first *)
+  type 'a t = { st : 'a list ref; obj : int }  (* front of the queue first *)
 
-  let make items = fingerprinted (ref items) ( ! )
+  let make items =
+    let st = ref items in
+    { st; obj = fingerprinted st ( ! ) }
 
-  let enqueue q v = atomic (fun () -> q := !q @ [ v ])
+  let enqueue q v = writes ~obj:q.obj (fun () -> q.st := !(q.st) @ [ v ])
 
   let dequeue q =
-    atomic (fun () ->
-        match !q with
+    writes ~obj:q.obj (fun () ->
+        match !(q.st) with
         | [] -> None
         | x :: rest ->
-            q := rest;
+            q.st := rest;
             Some x)
 end
 
 module Snapshot = struct
-  type 'a t = 'a array
+  type 'a t = { st : 'a array; obj : int }
 
   let make ~n init =
     if n < 1 then invalid_arg "Snapshot.make: n must be positive";
-    fingerprinted (Array.make n init) (fun s -> Array.to_list s)
+    let st = Array.make n init in
+    { st; obj = fingerprinted st (fun s -> Array.to_list s) }
 
+  (* Object-granularity footprints: updates of different segments are
+     declared on the same object and therefore not commuted by the
+     explorer — sound, merely conservative. *)
   let update s p v =
-    if p < 1 || p > Array.length s then invalid_arg "Snapshot.update";
-    atomic (fun () -> s.(p - 1) <- v)
+    if p < 1 || p > Array.length s.st then invalid_arg "Snapshot.update";
+    writes ~obj:s.obj (fun () -> s.st.(p - 1) <- v)
 
-  let scan s = atomic (fun () -> Array.copy s)
+  let scan s = reads ~obj:s.obj (fun () -> Array.copy s.st)
 end

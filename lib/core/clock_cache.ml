@@ -1,0 +1,87 @@
+(* A hash table with an optional capacity bound enforced by the clock
+   (second-chance) policy: entries live in a circular ring; a hit sets
+   the entry's reference bit; on insertion into a full cache the clock
+   hand sweeps the ring, clearing reference bits until it finds an
+   unreferenced victim to evict.  One sweep visits at most 2x capacity
+   slots (the first pass can only clear bits), so insertion is O(1)
+   amortized.  Unbounded when no capacity is given. *)
+
+type ('k, 'v) entry = {
+  key : 'k;
+  mutable value : 'v;
+  mutable referenced : bool;
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) entry) Hashtbl.t;
+  ring : ('k, 'v) entry option array;  (* [||] when unbounded *)
+  mutable hand : int;
+  mutable size : int;
+  mutable evictions : int;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Clock_cache.create: capacity < 1"
+  | _ -> ());
+  {
+    tbl = Hashtbl.create 512;
+    ring = (match capacity with None -> [||] | Some c -> Array.make c None);
+    hand = 0;
+    size = 0;
+    evictions = 0;
+  }
+
+let length t = Hashtbl.length t.tbl
+
+let evictions t = t.evictions
+
+let find_opt t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some e ->
+      e.referenced <- true;
+      Some e.value
+
+(* The next free ring slot, evicting a victim if the ring is full. *)
+let claim_slot t =
+  let cap = Array.length t.ring in
+  if t.size < cap then
+    (* Slots fill in order and an eviction's slot is refilled by the
+       same insertion, so below capacity slot [size] is always free. *)
+    t.size
+  else begin
+    let rec sweep () =
+      match t.ring.(t.hand) with
+      | Some e when e.referenced ->
+          e.referenced <- false;
+          t.hand <- (t.hand + 1) mod cap;
+          sweep ()
+      | Some e ->
+          let slot = t.hand in
+          Hashtbl.remove t.tbl e.key;
+          t.ring.(slot) <- None;
+          t.size <- t.size - 1;
+          t.evictions <- t.evictions + 1;
+          t.hand <- (slot + 1) mod cap;
+          slot
+      | None ->
+          t.hand <- (t.hand + 1) mod cap;
+          sweep ()
+    in
+    sweep ()
+  end
+
+let replace t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e -> e.value <- v
+  | None ->
+      if Array.length t.ring = 0 then
+        Hashtbl.replace t.tbl k { key = k; value = v; referenced = false }
+      else begin
+        let slot = claim_slot t in
+        let e = { key = k; value = v; referenced = false } in
+        t.ring.(slot) <- Some e;
+        t.size <- t.size + 1;
+        Hashtbl.replace t.tbl k e
+      end

@@ -22,37 +22,101 @@ let workload_invoke workload view p =
   in
   workload p issued
 
+(* ------------------------------------------------------------------ *)
+(* The decision menu.                                                  *)
+
 (* The decision menu of a configuration, in the canonical order that
    defines "lexicographically least script": for each process 1..n, its
    step or invocation; then, if the crash budget allows, for each
-   process 1..n, its crash. *)
-let decision_menu ~n ~invoke ~depth ~max_crashes view len crashes =
-  if len >= depth then []
-  else
-    List.concat_map
-      (fun p ->
-        match view.Driver.status p with
-        | Runtime.Ready -> [ Driver.Schedule p ]
-        | Runtime.Idle -> begin
-            match invoke view p with
-            | Some inv -> [ Driver.Invoke (p, inv) ]
-            | None -> []
-          end
-        | Runtime.Crashed -> [])
-      (Proc.all ~n)
-    @
-    if crashes < max_crashes then
-      List.filter_map
+   process 1..n, its crash.
+
+   Under [~symmetry], untouched processes (no event in the history:
+   never invoked, never crashed — hence idle with zero steps and
+   initial local state) are interchangeable up to renaming, so only the
+   least untouched process is offered an invocation (resp. a crash);
+   the pruned decisions' subtrees are renamings of the representative's.
+   The second component counts the decisions pruned this way. *)
+let decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry view len crashes =
+  if len >= depth then ([], 0)
+  else begin
+    let pruned = ref 0 in
+    let untouched p =
+      History.length
+        (History.filter
+           (fun e -> Proc.equal (Event.proc e) p)
+           view.Driver.history)
+      = 0
+    in
+    let rep_invoke =
+      if not symmetry then None
+      else
+        List.find_opt
+          (fun p ->
+            view.Driver.status p = Runtime.Idle
+            && untouched p
+            && invoke view p <> None)
+          (Proc.all ~n)
+    in
+    let rep_crash =
+      if not symmetry then None else List.find_opt untouched (Proc.all ~n)
+    in
+    let steps =
+      List.concat_map
         (fun p ->
-          if view.Driver.status p = Runtime.Crashed then None
-          else Some (Driver.Crash p))
+          match view.Driver.status p with
+          | Runtime.Ready -> [ Driver.Schedule p ]
+          | Runtime.Idle -> begin
+              match invoke view p with
+              | Some inv ->
+                  if symmetry && untouched p && rep_invoke <> Some p then begin
+                    incr pruned;
+                    []
+                  end
+                  else [ Driver.Invoke (p, inv) ]
+              | None -> []
+            end
+          | Runtime.Crashed -> [])
         (Proc.all ~n)
-    else []
+    in
+    let crash_branches =
+      if crashes < max_crashes then
+        List.filter_map
+          (fun p ->
+            if view.Driver.status p = Runtime.Crashed then None
+            else if symmetry && untouched p && rep_crash <> Some p then begin
+              incr pruned;
+              None
+            end
+            else Some (Driver.Crash p))
+          (Proc.all ~n)
+      else []
+    in
+    (steps @ crash_branches, !pruned)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain state.                                                   *)
+
+(* Transposition keys pair the configuration fingerprint with the POR
+   sleep set: the same configuration reached with different sleep sets
+   explores different reduced subtrees, so they must not share an
+   entry.  With POR off the sleep set is always [] and keys degenerate
+   to plain fingerprints. *)
+type ('inv, 'res) key = {
+  k_fp : ('inv, 'res) Runner.fingerprint;
+  k_sleep : Proc.t list;
+}
+
+(* A counterexample as first found: decision-tree rank (root-first
+   child indices in the reduced menus — the tie-breaker that makes the
+   parallel engine deterministic), decision script, failing report. *)
+type ('inv, 'res) witness =
+  int list * ('inv, 'res) Driver.decision list * ('inv, 'res) Run_report.t
 
 (* Per-engine (and, under fan-out, per-domain) mutable exploration
-   state.  Domains share nothing mutable: each has its own cursors,
-   transposition table and counters, which keeps the engine
-   deterministic and lock-free. *)
+   state.  Domains share nothing mutable except the work queue and the
+   witness slot: each has its own cursors, transposition table and
+   counters, which keeps the engine deterministic and lock-free. *)
 type ('inv, 'res) dstate = {
   mutable nodes : int;
   mutable runs : int;
@@ -60,16 +124,18 @@ type ('inv, 'res) dstate = {
   mutable replayed : int;
   mutable avoided : int;
   mutable hits : int;
+  mutable sleeps : int;
+  mutable sym_pruned : int;
+  mutable steals : int;
   mutable digest : int;
-  mutable found :
-    (('inv, 'res) Driver.decision list * ('inv, 'res) Run_report.t) option;
+  mutable found : ('inv, 'res) witness option;
   ticks : int ref;
-  table : (('inv, 'res) Runner.fingerprint, entry) Hashtbl.t;
+  table : (('inv, 'res) key, entry) Clock_cache.t;
 }
 
 and entry = { e_runs : int; e_digest : int }
 
-let new_state () =
+let new_state ?capacity () =
   {
     nodes = 0;
     runs = 0;
@@ -77,13 +143,17 @@ let new_state () =
     replayed = 0;
     avoided = 0;
     hits = 0;
+    sleeps = 0;
+    sym_pruned = 0;
+    steals = 0;
     digest = 0;
     found = None;
     ticks = ref 0;
-    table = Hashtbl.create 512;
+    table = Clock_cache.create ?capacity ();
   }
 
-let stats_of_states ~domains_used ~per_domain_runs states : Explore_stats.t =
+let stats_of_states ~domains_used states : Explore_stats.t =
+  let per_domain f = if domains_used > 1 then List.map f states else [] in
   List.fold_left
     (fun (acc : Explore_stats.t) st ->
       {
@@ -95,37 +165,120 @@ let stats_of_states ~domains_used ~per_domain_runs states : Explore_stats.t =
         steps_replayed = acc.steps_replayed + st.replayed;
         replays_avoided = acc.replays_avoided + st.avoided;
         cache_hits = acc.cache_hits + st.hits;
-        cache_entries = acc.cache_entries + Hashtbl.length st.table;
+        cache_entries = acc.cache_entries + Clock_cache.length st.table;
+        cache_evictions = acc.cache_evictions + Clock_cache.evictions st.table;
+        por_sleeps = acc.por_sleeps + st.sleeps;
+        symmetry_pruned = acc.symmetry_pruned + st.sym_pruned;
+        steals = acc.steals + st.steals;
         history_digest = acc.history_digest + st.digest;
       })
-    { Explore_stats.zero with domains_used; per_domain_runs }
+    {
+      Explore_stats.zero with
+      domains_used;
+      per_domain_runs = per_domain (fun st -> st.runs);
+      per_domain_steps = per_domain (fun st -> !(st.ticks));
+    }
     states
 
+(* ------------------------------------------------------------------ *)
+(* Work-stealing fan-out.                                              *)
+
+(* A frontier item: a configuration (as the decision prefix that
+   reaches it — cursors hold one-shot continuations and cannot
+   migrate, so thieves replay) plus the POR sleep set and the tree
+   rank it carries. *)
+type ('inv, 'res) item = {
+  it_owner : int;
+  it_script : ('inv, 'res) Driver.decision list;  (* reversed *)
+  it_len : int;
+  it_crashes : int;
+  it_sleep : Proc.t list;
+  it_rank : int list;  (* root-first *)
+}
+
+(* Shared state of a fan-out: a lock-free Treiber stack of frontier
+   items (LIFO keeps thieves near the leaves their victim just left,
+   so stolen replays are short), the count of queued-or-running items
+   for termination detection, and the least-rank witness slot. *)
+type ('inv, 'res) shared = {
+  queue : ('inv, 'res) item list Atomic.t;
+  outstanding : int Atomic.t;
+  spawn_bound : int;
+  best : ('inv, 'res) witness option Atomic.t;
+}
+
+let push shared it =
+  Atomic.incr shared.outstanding;
+  let rec go () =
+    let cur = Atomic.get shared.queue in
+    if not (Atomic.compare_and_set shared.queue cur (it :: cur)) then go ()
+  in
+  go ()
+
+let pop shared =
+  let rec go () =
+    match Atomic.get shared.queue with
+    | [] -> None
+    | (it :: rest) as cur ->
+        if Atomic.compare_and_set shared.queue cur rest then Some it else go ()
+  in
+  go ()
+
+(* Ranks are compared lexicographically; [compare] on int lists is
+   exactly that (a proper prefix is smaller). *)
+let record_witness shared ((rank, _, _) as w) =
+  let rec go () =
+    let cur = Atomic.get shared.best in
+    match cur with
+    | Some (r, _, _) when compare r rank <= 0 -> ()
+    | _ -> if not (Atomic.compare_and_set shared.best cur (Some w)) then go ()
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* The incremental reduced engine.                                     *)
+
 let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
-    ?(domains = 1) ~check () =
-  let menu = decision_menu ~n ~invoke ~depth ~max_crashes in
-  let make_cursor st = Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks () in
+    ?cache_capacity ?(por = false) ?(symmetry = false) ?(domains = 1) ~check ()
+    =
+  let menu = decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry in
+  let make_cursor st =
+    Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks ()
+  in
   (* Walk the subtree rooted at the configuration [cursor] sits on.
      The first child extends the cursor in place (the incremental step
      the naive engine lacks); each later sibling re-establishes the
      configuration by replaying the decision prefix into a fresh
-     cursor.  Raises [Found_counterexample] with [st.found] set on the
-     first failing maximal run, which under this in-order walk is the
-     lexicographically least one of the subtree. *)
-  let rec visit st cursor rev_script len crashes =
+     cursor — unless the subtree is farmed out to the shared queue for
+     another domain to steal.  Returns [true] iff the subtree was
+     fully explored locally (so its transposition entry is exact and
+     may be written).  Raises [Found_counterexample] with [st.found]
+     set on the first failing maximal run, which under this in-order
+     walk is the rank-least one of the subtree. *)
+  let rec visit sh st cursor rev_script rev_rank len crashes sleep =
     st.nodes <- st.nodes + 1;
-    let fp = if cache then Some (Runner.Cursor.fingerprint cursor) else None in
-    match Option.bind fp (Hashtbl.find_opt st.table) with
+    let key =
+      if cache then
+        Some { k_fp = Runner.Cursor.fingerprint cursor; k_sleep = sleep }
+      else None
+    in
+    match Option.bind key (Clock_cache.find_opt st.table) with
     | Some e ->
-        (* Transposition: an already-explored configuration.  Its
-           subtree was counterexample-free (failing subtrees abort the
-           walk before an entry is written), so credit its runs and
-           final-history digest without descending. *)
+        (* Transposition: an already-explored configuration (with the
+           same sleep set).  Its subtree was counterexample-free
+           (failing subtrees abort the walk before an entry is
+           written), so credit its runs and final-history digest
+           without descending. *)
         st.hits <- st.hits + 1;
         st.runs <- st.runs + e.e_runs;
-        st.digest <- st.digest + e.e_digest
+        st.digest <- st.digest + e.e_digest;
+        true
     | None -> begin
-        match menu (Runner.Cursor.view cursor) len crashes with
+        let decisions, sym_pruned =
+          menu (Runner.Cursor.view cursor) len crashes
+        in
+        st.sym_pruned <- st.sym_pruned + sym_pruned;
+        match decisions with
         | [] ->
             (* A maximal run: check it. *)
             let r = Runner.Cursor.report cursor ~window:(max len 1) () in
@@ -134,125 +287,250 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
             let dh = Runtime.hash_value r.Run_report.history in
             st.digest <- st.digest + dh;
             Option.iter
-              (fun f -> Hashtbl.replace st.table f { e_runs = 1; e_digest = dh })
-              fp;
+              (fun k ->
+                Clock_cache.replace st.table k { e_runs = 1; e_digest = dh })
+              key;
             if not (check r) then begin
-              st.found <- Some (List.rev rev_script, r);
+              st.found <- Some (List.rev rev_rank, List.rev rev_script, r);
               raise Found_counterexample
-            end
-        | decisions ->
-            let runs0 = st.runs and digest0 = st.digest in
-            List.iteri
-              (fun i d ->
-                let crashes' =
-                  match d with Driver.Crash _ -> crashes + 1 | _ -> crashes
+            end;
+            true
+        | _ -> begin
+            (* Sleep-set filter: a slept process's pending step
+               commutes with every step taken since it went to sleep,
+               so granting it here would reproduce, step-swapped, a run
+               already explored from an earlier sibling. *)
+            let asleep, active =
+              if por && sleep <> [] then
+                List.partition
+                  (fun d ->
+                    match d with
+                    | Driver.Schedule p -> List.mem p sleep
+                    | _ -> false)
+                  decisions
+              else ([], decisions)
+            in
+            st.sleeps <- st.sleeps + List.length asleep;
+            match active with
+            | [] ->
+                (* Everything enabled is asleep: every extension is a
+                   reordering of an explored run.  Not a maximal run —
+                   nothing to check, nothing to credit. *)
+                Option.iter
+                  (fun k ->
+                    Clock_cache.replace st.table k
+                      { e_runs = 0; e_digest = 0 })
+                  key;
+                true
+            | _ ->
+                let runs0 = st.runs and digest0 = st.digest in
+                let pend p = Runner.Cursor.pending cursor p in
+                let commutes z d =
+                  match d with
+                  | Driver.Schedule q when not (Proc.equal q z) -> begin
+                      match (pend z, pend q) with
+                      | Some a, Some b -> Runtime.footprints_commute a b
+                      | _ -> false
+                    end
+                  | Driver.Invoke (q, _) when not (Proc.equal q z) ->
+                      (* Invoking [q] touches only [q]-local state (and
+                         appends [q]'s invocation event), so it commutes
+                         with any pending step of [z] — whatever objects
+                         that step accesses.  Requires [invoke] to derive
+                         its invocation from [q]'s own projection of the
+                         history, which every counting workload does. *)
+                      true
+                  | _ -> false
                 in
-                let child =
-                  if i = 0 then begin
-                    st.avoided <- st.avoided + 1;
-                    cursor
-                  end
-                  else begin
-                    let c = make_cursor st in
-                    List.iter (Runner.Cursor.apply c) (List.rev rev_script);
-                    st.replayed <- st.replayed + len;
-                    c
-                  end
+                (* Children, each with its sleep set: a process stays
+                   (or, as an explored earlier sibling, falls) asleep
+                   across child [d] iff its pending step commutes with
+                   [d]. *)
+                let children =
+                  if not por then
+                    List.mapi (fun i d -> (i, d, [])) active
+                  else
+                    List.mapi (fun i d -> (i, d)) active
+                    |> List.fold_left
+                         (fun (acc, prev) (i, d) ->
+                           let child_sleep =
+                             List.filter (fun z -> commutes z d) prev
+                           in
+                           let prev' =
+                             match d with
+                             | Driver.Schedule p ->
+                                 List.sort_uniq Proc.compare (p :: prev)
+                             | _ -> prev
+                           in
+                           ((i, d, child_sleep) :: acc, prev'))
+                         ([], sleep)
+                    |> fst |> List.rev
                 in
-                Runner.Cursor.apply child d;
-                visit st child (d :: rev_script) (len + 1) crashes')
-              decisions;
-            Option.iter
-              (fun f ->
-                Hashtbl.replace st.table f
-                  { e_runs = st.runs - runs0; e_digest = st.digest - digest0 })
-              fp
+                let farm_out =
+                  match sh with
+                  | Some sh ->
+                      List.length children > 1
+                      && Atomic.get sh.outstanding < sh.spawn_bound
+                  | None -> false
+                in
+                let complete = ref (not farm_out) in
+                List.iter
+                  (fun (i, d, child_sleep) ->
+                    let crashes' =
+                      match d with
+                      | Driver.Crash _ -> crashes + 1
+                      | _ -> crashes
+                    in
+                    if farm_out && i > 0 then
+                      (* Publish the sibling as a stealable frontier
+                         item; whoever pops it replays the prefix. *)
+                      push (Option.get sh)
+                        {
+                          it_owner = (Domain.self () :> int);
+                          it_script = d :: rev_script;
+                          it_len = len + 1;
+                          it_crashes = crashes';
+                          it_sleep = child_sleep;
+                          it_rank = List.rev (i :: rev_rank);
+                        }
+                    else begin
+                      let child =
+                        if i = 0 then begin
+                          st.avoided <- st.avoided + 1;
+                          cursor
+                        end
+                        else begin
+                          let c = make_cursor st in
+                          List.iter (Runner.Cursor.apply c)
+                            (List.rev rev_script);
+                          st.replayed <- st.replayed + len;
+                          c
+                        end
+                      in
+                      Runner.Cursor.apply child d;
+                      if
+                        not
+                          (visit sh st child (d :: rev_script)
+                             (i :: rev_rank) (len + 1) crashes' child_sleep)
+                      then complete := false
+                    end)
+                  children;
+                if !complete then
+                  Option.iter
+                    (fun k ->
+                      Clock_cache.replace st.table k
+                        {
+                          e_runs = st.runs - runs0;
+                          e_digest = st.digest - digest0;
+                        })
+                    key;
+                !complete
+          end
       end
   in
-  let finish ~domains_used ~per_domain_runs states witness =
-    let stats = stats_of_states ~domains_used ~per_domain_runs states in
+  let finish ~domains_used states witness =
+    let stats = stats_of_states ~domains_used states in
     match witness with
-    | None -> { outcome = Ok stats.Explore_stats.runs; stats; witness_script = None }
-    | Some (script, r) ->
+    | None ->
+        { outcome = Ok stats.Explore_stats.runs; stats; witness_script = None }
+    | Some (_, script, r) ->
         { outcome = Counterexample r; stats; witness_script = Some script }
   in
-  let st0 = new_state () in
-  let root = make_cursor st0 in
-  let roots = menu (Runner.Cursor.view root) 0 0 in
-  let fan_out = max 1 (min domains (List.length roots)) in
-  if fan_out = 1 then begin
-    (* Sequential: one walk from the root configuration. *)
+  if domains <= 1 then begin
+    (* Sequential: one in-order walk from the root configuration. *)
+    let st = new_state ?capacity:cache_capacity () in
+    let root = make_cursor st in
     let witness =
-      match visit st0 root [] 0 0 with
-      | () -> None
-      | exception Found_counterexample -> st0.found
+      match visit None st root [] [] 0 0 [] with
+      | (_ : bool) -> None
+      | exception Found_counterexample -> st.found
     in
-    finish ~domains_used:1 ~per_domain_runs:[] [ st0 ] witness
+    finish ~domains_used:1 [ st ] witness
   end
   else begin
-    (* Fan the root decisions across domains: one domain per root up to
-       [domains], a work list for the rest.  Each domain owns its
-       cursors, cache and counters; per-root witnesses land in a slot
-       array (one writer per slot), and the least failing root index
-       gives the lexicographically least counterexample overall. *)
-    st0.nodes <- 1;
-    let roots_arr = Array.of_list roots in
-    let nroots = Array.length roots_arr in
-    let next = Atomic.make 0 in
-    let failed_at = Atomic.make max_int in
-    let witnesses = Array.make nroots None in
+    (* Work-stealing fan-out: domains drain a shared lock-free stack of
+       frontier items, and a busy domain publishes sibling subtrees
+       whenever the stack runs low, so domains stay busy at every
+       depth (not just across root branches).  The rank-least witness
+       is selected at the join, so the counterexample is deterministic
+       regardless of the steal schedule. *)
+    let fan_out = domains in
+    let shared =
+      {
+        queue = Atomic.make [];
+        outstanding = Atomic.make 0;
+        spawn_bound = 4 * fan_out;
+        best = Atomic.make None;
+      }
+    in
+    push shared
+      {
+        it_owner = (Domain.self () :> int);
+        it_script = [];
+        it_len = 0;
+        it_crashes = 0;
+        it_sleep = [];
+        it_rank = [];
+      };
     let worker () =
-      let st = new_state () in
+      let st = new_state ?capacity:cache_capacity () in
+      let self = (Domain.self () :> int) in
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < nroots then begin
-          (* Roots beyond an already-failed one cannot yield the least
-             witness; skip them (their run counts are moot once any
-             counterexample exists). *)
-          if i <= Atomic.get failed_at then begin
-            let d = roots_arr.(i) in
-            let crashes = match d with Driver.Crash _ -> 1 | _ -> 0 in
-            let c = make_cursor st in
-            Runner.Cursor.apply c d;
-            (match visit st c [ d ] 1 crashes with
-            | () -> ()
-            | exception Found_counterexample ->
-                witnesses.(i) <- st.found;
-                st.found <- None;
-                let rec lower () =
-                  let cur = Atomic.get failed_at in
-                  if i < cur && not (Atomic.compare_and_set failed_at cur i)
-                  then lower ()
-                in
-                lower ())
-          end;
-          loop ()
-        end
+        match pop shared with
+        | Some it ->
+            let skip =
+              (* An item rank-greater than the best witness cannot
+                 contain the least one; drop it. *)
+              match Atomic.get shared.best with
+              | Some (r, _, _) -> compare r it.it_rank <= 0
+              | None -> false
+            in
+            if not skip then begin
+              if it.it_owner <> self then st.steals <- st.steals + 1;
+              let c = make_cursor st in
+              List.iter (Runner.Cursor.apply c) (List.rev it.it_script);
+              st.replayed <- st.replayed + it.it_len;
+              (match
+                 visit (Some shared) st c it.it_script
+                   (List.rev it.it_rank) it.it_len it.it_crashes it.it_sleep
+               with
+              | (_ : bool) -> ()
+              | exception Found_counterexample -> (
+                  match st.found with
+                  | Some w ->
+                      record_witness shared w;
+                      st.found <- None
+                  | None -> ()))
+            end;
+            Atomic.decr shared.outstanding;
+            loop ()
+        | None ->
+            if Atomic.get shared.outstanding > 0 then begin
+              Domain.cpu_relax ();
+              loop ()
+            end
       in
       loop ();
       st
     in
-    let handles =
-      List.init (fan_out - 1) (fun _ -> Domain.spawn worker)
-    in
+    let handles = List.init (fan_out - 1) (fun _ -> Domain.spawn worker) in
     let states = worker () :: List.map Domain.join handles in
-    let witness =
-      let best = Atomic.get failed_at in
-      if best = max_int then None else witnesses.(best)
-    in
-    finish ~domains_used:fan_out
-      ~per_domain_runs:(List.map (fun st -> st.runs) states)
-      (st0 :: states) witness
+    finish ~domains_used:fan_out states (Atomic.get shared.best)
   end
 
+(* ------------------------------------------------------------------ *)
+(* The naive reference engine.                                         *)
+
 let explore_naive ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
-  let menu = decision_menu ~n ~invoke ~depth ~max_crashes in
+  let menu =
+    decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry:false
+  in
   let st = new_state () in
   (* The retained reference engine: re-run the decision prefix from a
      fresh implementation instance at every node of the tree, exactly
      as the original explorer did.  Kept for differential testing and
-     as the baseline the incremental engine's counters are measured
-     against. *)
+     as the baseline the incremental/reduced engines' counters are
+     measured against. *)
   let replay rev_script =
     let c = Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks () in
     List.iter (Runner.Cursor.apply c) (List.rev rev_script);
@@ -262,14 +540,14 @@ let explore_naive ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
     st.nodes <- st.nodes + 1;
     let cursor = replay rev_script in
     st.replayed <- st.replayed + len;
-    match menu (Runner.Cursor.view cursor) len crashes with
+    match fst (menu (Runner.Cursor.view cursor) len crashes) with
     | [] ->
         let r = Runner.Cursor.report cursor ~window:(max len 1) () in
         st.runs <- st.runs + 1;
         st.checked <- st.checked + 1;
         st.digest <- st.digest + Runtime.hash_value r.Run_report.history;
         if not (check r) then begin
-          st.found <- Some (List.rev rev_script, r);
+          st.found <- Some ([], List.rev rev_script, r);
           raise Found_counterexample
         end
     | decisions ->
@@ -286,10 +564,10 @@ let explore_naive ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
     | () -> None
     | exception Found_counterexample -> st.found
   in
-  let stats = stats_of_states ~domains_used:1 ~per_domain_runs:[] [ st ] in
+  let stats = stats_of_states ~domains_used:1 [ st ] in
   match witness with
   | None -> { outcome = Ok stats.Explore_stats.runs; stats; witness_script = None }
-  | Some (script, r) ->
+  | Some (_, script, r) ->
       { outcome = Counterexample r; stats; witness_script = Some script }
 
 let forall_schedules ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =

@@ -19,23 +19,49 @@
       crash set, per-process status/step-count/observation digests,
       shared base-object digest) prunes schedule prefixes that reach an
       already-explored configuration, crediting the cached subtree's run
-      count instead of descending.  Root branches can be fanned out
-      across OCaml 5 domains.
+      count instead of descending; [~cache_capacity] bounds its memory
+      with clock (second-chance) eviction.  Three further multipliers
+      are opt-in: {e partial-order reduction} ([~por], sleep sets over
+      declared base-object access footprints), {e symmetry reduction}
+      ([~symmetry], orbit pruning of interchangeable untouched
+      processes), and {e work-stealing fan-out} ([~domains], a shared
+      lock-free queue of frontier items drained by OCaml 5 domains).
     - {!explore_naive} — the retained reference: replays every prefix
-      from scratch at every node.  The differential suite proves both
-      engines visit the identical set of maximal runs; the bench smoke
-      compares their [steps_executed].
+      from scratch at every node, no cache, no reductions.  The
+      differential suite proves the unreduced engines visit the
+      identical set of maximal runs, and the reduced engines the same
+      check verdicts and counterexamples; the bench smoke compares
+      their [steps_executed].
 
-    Soundness fine print for the cache: fingerprint equality implies
-    identical futures (same decision menus, same suffix histories, same
-    run counts) up to hash collision on the two digest components, and
-    identical maximal-run reports {e except for the timing of prefix
-    events} ([event_times], grant times) which the canonical fingerprint
-    abstracts away.  [check] is therefore invoked once per configuration
-    class, not once per run — pass [~cache:false] if a check depends on
-    fine-grained event timing rather than on the history, crash set,
-    totals and window.  Every check in this repository is of the latter
-    kind.
+    Soundness fine print — what each switch assumes of [check]:
+
+    - {e cache} (default on): fingerprint equality implies identical
+      futures (same decision menus, same suffix histories, same run
+      counts) up to hash collision on the digest components, and
+      identical maximal-run reports {e except for the timing of prefix
+      events} ([event_times], grant times) which the canonical
+      fingerprint abstracts away.  [check] is therefore invoked once
+      per configuration class — pass [~cache:false] if a check depends
+      on fine-grained event timing rather than on the history, crash
+      set, totals and window.
+    - {e por} (default off): two pending steps with commuting declared
+      footprints ({!Slx_sim.Runtime.footprints_commute}) reach the same
+      configuration in either order; sleep sets explore one
+      representative interleaving per such commutation class.  The
+      representative's history can differ from a pruned run's by swaps
+      of adjacent response events of different processes, so [check]
+      must be invariant under that (every history-level check in this
+      repository is).
+    - {e symmetry} (default off): requires the instance to be
+      process-symmetric — all processes run the same [invoke] program
+      and [check] is invariant under renaming processes (composed with
+      whatever the workload derives from the process id, e.g. distinct
+      proposal values).  Untouched processes are then interchangeable
+      and only the least-numbered one is activated or crashed.
+
+    With reductions on, [Ok runs] counts the explored {e
+    representatives} (one per equivalence class reached), not all
+    interleavings; see {!Explore_stats} for the reduction counters.
 
     The test suites use exploration to promote sampled claims to
     exhaustive ones — e.g. {e agreement and validity hold for CAS
@@ -47,14 +73,21 @@ open Slx_sim
 type ('inv, 'res) outcome =
   | Ok of int
       (** Every maximal bounded run satisfied the check.  The payload
-          counts the {e maximal} runs explored — interior nodes of the
-          decision tree (proper prefixes) are not counted; see
+          counts the {e maximal} runs explored (equivalence-class
+          representatives when POR/symmetry are on) — interior nodes of
+          the decision tree (proper prefixes) are not counted; see
           {!Explore_stats.t.nodes} for those. *)
   | Counterexample of ('inv, 'res) Run_report.t
       (** The failing run with the lexicographically least decision
-          script (in the menu order: steps/invocations of processes
-          1..n, then crashes of processes 1..n) — deterministic, for
-          any engine configuration, cache or not, one domain or many. *)
+          script among those the engine explores (in the menu order:
+          steps/invocations of processes 1..n, then crashes of
+          processes 1..n) — deterministic for any engine configuration:
+          cache or not, bounded or not, one domain or many.  With
+          POR/symmetry on, "explored" means the reduced tree: the
+          witness is then the least {e representative} of the least
+          failing equivalence class, identical across domain counts but
+          possibly a commutation/renaming of the unreduced engines'
+          witness. *)
 
 type ('inv, 'res) exploration = {
   outcome : ('inv, 'res) outcome;
@@ -72,6 +105,9 @@ val explore :
   depth:int ->
   ?max_crashes:int ->
   ?cache:bool ->
+  ?cache_capacity:int ->
+  ?por:bool ->
+  ?symmetry:bool ->
   ?domains:int ->
   check:(('inv, 'res) Run_report.t -> bool) ->
   unit ->
@@ -82,18 +118,28 @@ val explore :
     on each call (one per live cursor).  [invoke view p] supplies the
     invocation an idle process would issue, or [None] if it has no more
     work.  [max_crashes] (default 0) additionally branches on crashing
-    each not-yet-crashed process.  [cache] (default [true]) enables the
-    transposition cache.  [domains] (default 1) fans the top-level
-    branches across up to that many OCaml 5 domains (clamped to the
-    number of root decisions); with [domains > 1], [factory], [invoke]
-    and [check] run concurrently in several domains and must not share
-    unsynchronized mutable state.
+    each not-yet-crashed process.
+
+    [cache] (default [true]) enables the transposition cache;
+    [cache_capacity] bounds each domain's cache to that many entries,
+    evicted second-chance (unbounded without it).  [por] (default
+    [false]) enables sleep-set partial-order reduction over the
+    base-object access footprints of pending steps.  [symmetry]
+    (default [false]) declares the instance process-symmetric and
+    enables orbit pruning of untouched processes; see the soundness
+    notes above.  [domains] (default 1) fans the exploration across up
+    to that many OCaml 5 domains with work-stealing over a shared
+    frontier queue; [factory], [invoke] and [check] then run
+    concurrently in several domains and must not share unsynchronized
+    mutable state.
 
     The check runs on maximal runs only (depth reached or no decision
     available); the report's window is the whole run.  When a
-    counterexample is found the remaining exploration is abandoned, so
-    [stats] then reflects the work done up to (and while concurrently
-    racing past) the discovery. *)
+    counterexample is found the remaining exploration is abandoned
+    (work-stealing domains finish rank-lesser frontier items first, so
+    the reported witness is still deterministic), so [stats] then
+    reflects the work done up to (and while concurrently racing past)
+    the discovery. *)
 
 val explore_naive :
   n:int ->
@@ -105,10 +151,10 @@ val explore_naive :
   unit ->
   ('inv, 'res) exploration
 (** The replay-from-scratch reference engine: same tree, same order,
-    same outcome and witness as {!explore}, but every node re-runs its
-    whole decision prefix on a fresh instance (and [check] runs on
-    every maximal run).  O(depth) runtime steps per node — kept as the
-    differential-testing baseline. *)
+    same outcome and witness as {!explore} with reductions off, but
+    every node re-runs its whole decision prefix on a fresh instance
+    (and [check] runs on every maximal run).  O(depth) runtime steps
+    per node — kept as the differential-testing baseline. *)
 
 val forall_schedules :
   n:int ->
@@ -119,9 +165,9 @@ val forall_schedules :
   check:(('inv, 'res) Run_report.t -> bool) ->
   unit ->
   ('inv, 'res) outcome
-(** [explore] with the default engine configuration (cache on, one
-    domain), returning just the outcome.  [Ok runs] counts {e maximal}
-    runs only. *)
+(** [explore] with the default engine configuration (cache on, no
+    reductions, one domain), returning just the outcome.  [Ok runs]
+    counts {e maximal} runs only. *)
 
 val workload_invoke :
   ('inv, 'res) Driver.workload ->

@@ -7,8 +7,13 @@ type t = {
   replays_avoided : int;
   cache_hits : int;
   cache_entries : int;
+  cache_evictions : int;
+  por_sleeps : int;
+  symmetry_pruned : int;
   domains_used : int;
+  steals : int;
   per_domain_runs : int list;
+  per_domain_steps : int list;
   history_digest : int;
 }
 
@@ -22,8 +27,13 @@ let zero =
     replays_avoided = 0;
     cache_hits = 0;
     cache_entries = 0;
+    cache_evictions = 0;
+    por_sleeps = 0;
+    symmetry_pruned = 0;
     domains_used = 0;
+    steals = 0;
     per_domain_runs = [];
+    per_domain_steps = [];
     history_digest = 0;
   }
 
@@ -37,29 +47,50 @@ let merge a b =
     replays_avoided = a.replays_avoided + b.replays_avoided;
     cache_hits = a.cache_hits + b.cache_hits;
     cache_entries = a.cache_entries + b.cache_entries;
+    cache_evictions = a.cache_evictions + b.cache_evictions;
+    por_sleeps = a.por_sleeps + b.por_sleeps;
+    symmetry_pruned = a.symmetry_pruned + b.symmetry_pruned;
     domains_used = max a.domains_used b.domains_used;
+    steals = a.steals + b.steals;
     per_domain_runs = a.per_domain_runs @ b.per_domain_runs;
+    per_domain_steps = a.per_domain_steps @ b.per_domain_steps;
     history_digest = a.history_digest + b.history_digest;
   }
+
+let pp_int_list rs = String.concat ", " (List.map string_of_int rs)
 
 let pp fmt s =
   Format.fprintf fmt
     "@[<v>nodes visited:    %d@,maximal runs:     %d (checked: %d)@,\
      steps executed:   %d (replayed: %d)@,replays avoided:  %d@,\
-     cache:            %d hits / %d entries@,domains:          %d%s@]"
+     cache:            %d hits / %d entries / %d evictions@,\
+     reductions:       %d slept (POR), %d pruned (symmetry)@,\
+     domains:          %d (%d steals)"
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
-    s.replays_avoided s.cache_hits s.cache_entries s.domains_used
-    (match s.per_domain_runs with
-    | [] | [ _ ] -> ""
-    | rs ->
-        Printf.sprintf "  (runs per domain: %s)"
-          (String.concat ", " (List.map string_of_int rs)))
+    s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
+    s.por_sleeps s.symmetry_pruned s.domains_used s.steals;
+  (match s.per_domain_runs with
+  | [] | [ _ ] -> ()
+  | rs -> Format.fprintf fmt "@,runs per domain:  %s" (pp_int_list rs));
+  (match s.per_domain_steps with
+  | [] | [ _ ] -> ()
+  | rs -> Format.fprintf fmt "@,steps per domain: %s" (pp_int_list rs));
+  Format.fprintf fmt "@]"
+
+let json_int_list rs =
+  "[" ^ String.concat ", " (List.map string_of_int rs) ^ "]"
 
 let to_json s =
   Printf.sprintf
     "{\"nodes\": %d, \"runs\": %d, \"runs_checked\": %d, \
      \"steps_executed\": %d, \"steps_replayed\": %d, \
      \"replays_avoided\": %d, \"cache_hits\": %d, \"cache_entries\": %d, \
-     \"domains_used\": %d}"
+     \"cache_evictions\": %d, \"por_sleeps\": %d, \"symmetry_pruned\": %d, \
+     \"domains_used\": %d, \"steals\": %d, \"per_domain_runs\": %s, \
+     \"per_domain_steps\": %s, \"history_digest\": %d}"
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
-    s.replays_avoided s.cache_hits s.cache_entries s.domains_used
+    s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
+    s.por_sleeps s.symmetry_pruned s.domains_used s.steals
+    (json_int_list s.per_domain_runs)
+    (json_int_list s.per_domain_steps)
+    s.history_digest

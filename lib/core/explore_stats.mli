@@ -1,50 +1,75 @@
 (** Counters produced by the exploration engine ({!Explore}), so that
-    the incremental/cached/parallel engine's speedup over naive replay
-    is measured, not asserted.  Surfaced by [bench/experiments.ml]
-    (E16), the bench smoke target, and the [slx explore] subcommand. *)
+    the incremental/cached/reduced/parallel engine's speedup over naive
+    replay is measured, not asserted.  Surfaced by
+    [bench/experiments.ml] (E16), the bench smoke target, and the
+    [slx explore] subcommand (as JSON under [--json]). *)
 
 type t = {
   nodes : int;
       (** Decision-tree nodes visited, transposition hits included. *)
   runs : int;
-      (** Maximal runs accounted for — equals the count a naive
-          enumeration reports, cache-credited subtrees included. *)
+      (** Maximal runs accounted for, cache-credited subtrees included.
+          With reductions off this equals the count a naive enumeration
+          reports; with POR/symmetry on it counts the representative
+          runs actually explored (each standing for an equivalence
+          class of runs under commutation/renaming). *)
   runs_checked : int;
       (** Maximal runs on which [check] actually executed ([runs] minus
           runs credited from the transposition cache). *)
   steps_executed : int;
       (** Runtime ticks actually applied across all cursors — the
           engine's unit of work, and the quantity the incremental
-          engine minimizes. *)
+          engine and the reductions minimize. *)
   steps_replayed : int;
       (** The subset of [steps_executed] spent re-establishing a
           configuration by replaying a decision prefix (backtracking to
-          a sibling); the rest extended a live cursor. *)
+          a sibling, or replaying a stolen frontier item). *)
   replays_avoided : int;
       (** Nodes entered by extending the parent's cursor in place — each
           saved a full prefix replay the naive engine performs. *)
   cache_hits : int;  (** Subtrees pruned by the transposition cache. *)
   cache_entries : int;  (** Final size of the transposition cache(s). *)
+  cache_evictions : int;
+      (** Entries evicted by the clock policy under [~cache_capacity]
+          (0 when the cache is unbounded). *)
+  por_sleeps : int;
+      (** Scheduling decisions skipped because the process was in the
+          sleep set — each cuts a redundant interleaving of commuting
+          steps (partial-order reduction). *)
+  symmetry_pruned : int;
+      (** Decisions pruned as symmetric to a lower-numbered untouched
+          process's decision (symmetry reduction orbit pruning). *)
   domains_used : int;  (** Domains the exploration actually fanned over. *)
+  steals : int;
+      (** Frontier items executed by a domain other than the one that
+          pushed them (work-stealing fan-out; 0 when sequential). *)
   per_domain_runs : int list;
-      (** Maximal runs accounted per domain (work-list order; empty for
+      (** Maximal runs accounted per domain (spawn order; empty for
           sequential exploration).  Informational: the split depends on
-          domain scheduling, everything else in [t] does not. *)
+          domain scheduling; every non-[per_domain_*] counter except
+          [steps_executed]/[steps_replayed] does not. *)
+  per_domain_steps : int list;
+      (** Runtime ticks executed per domain (spawn order) — the honest
+          load-balance report: with work-stealing these should be close
+          to uniform even when the decision tree is skewed. *)
   history_digest : int;
       (** Order-insensitive digest (wrapping integer sum of deep hashes)
           of the final histories of all maximal runs.  Two engines that
           explore the same run set agree on [runs] and this digest; the
           differential suite uses it to compare engines through the
-          cache, which never materializes pruned runs. *)
+          cache, which never materializes pruned runs.  Engines with
+          POR/symmetry on explore a subset of representatives, so their
+          digest is compared only against engines with the same
+          reductions. *)
 }
 
 val zero : t
 
 val merge : t -> t -> t
-(** Pointwise sum (max for [domains_used], concatenation for
-    [per_domain_runs]). *)
+(** Pointwise sum (max for [domains_used], concatenation for the
+    [per_domain_*] lists). *)
 
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
-(** One-line JSON object of the scalar counters. *)
+(** One-line JSON object of the full record ([per_domain_*] as arrays). *)

@@ -56,6 +56,8 @@ module Cursor = struct
       steps = (fun p -> c.step_counts.(p));
     }
 
+  let pending c p = Runtime.pending_footprint (cell c p)
+
   let record c e =
     c.history <- History.append c.history e;
     c.rev_event_times <- c.time :: c.rev_event_times

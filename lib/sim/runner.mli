@@ -62,6 +62,12 @@ module Cursor : sig
   val view : ('inv, 'res) t -> ('inv, 'res) Driver.view
   (** The driver-visible view of the current configuration. *)
 
+  val pending : ('inv, 'res) t -> Proc.t -> Runtime.footprint option
+  (** The declared access footprint of the atomic action process [p] is
+      suspended at ([None] unless [p] is [Ready]).  The explorer's
+      partial-order reduction grants commuting pending steps
+      ({!Runtime.footprints_commute}) in only one order. *)
+
   val apply : ('inv, 'res) t -> ('inv, 'res) Driver.decision -> unit
   (** Extend the run by one decision (one scheduler tick).  Decisions
       are validated exactly as in {!run}; applying [Driver.Stop] raises

@@ -1,9 +1,23 @@
 open Effect
 open Effect.Deep
 
-type _ Effect.t += Atomic : (unit -> 'a) -> 'a Effect.t
+(* The access footprint of a pending atomic action: which base object
+   it touches and whether it may write it.  [Opaque] (the legacy
+   [atomic]) conflicts with everything; base objects declare precise
+   footprints so the exploration engine can recognize commuting steps
+   (partial-order reduction). *)
+type footprint = Opaque | Access of { obj : int; write : bool }
 
-let atomic f = perform (Atomic f)
+type _ Effect.t += Atomic : footprint * (unit -> 'a) -> 'a Effect.t
+
+let atomic f = perform (Atomic (Opaque, f))
+let atomic_access ~obj ~write f = perform (Atomic (Access { obj; write }, f))
+
+let footprints_commute a b =
+  match (a, b) with
+  | Access { obj = o1; write = w1 }, Access { obj = o2; write = w2 } ->
+      o1 <> o2 || ((not w1) && not w2)
+  | Opaque, _ | _, Opaque -> false
 
 exception Killed
 
@@ -29,17 +43,33 @@ let combine h v = (h * 0x01000193) lxor (v land max_int)
    fingerprints.  The "current registry" is domain-local so parallel
    explorers do not observe each other's allocations. *)
 
-type registry = (unit -> int) list ref
+type registry = {
+  mutable readers : (unit -> int) list;  (* reverse registration order *)
+  mutable next_id : int;
+}
 
 let current_registry : registry option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-let fresh_registry () : registry = ref []
+let fresh_registry () : registry = { readers = []; next_id = 1 }
+
+(* Fallback id source for objects allocated with no registry current
+   (plain [Runner.run]s); footprint ids only ever need to be distinct
+   within one implementation instance, and negative ids cannot collide
+   with registry-issued positive ones. *)
+let orphan_ids : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let register_object reader =
   match !(Domain.DLS.get current_registry) with
-  | None -> ()
-  | Some reg -> reg := reader :: !reg
+  | None ->
+      let c = Domain.DLS.get orphan_ids in
+      decr c;
+      !c
+  | Some reg ->
+      reg.readers <- reader :: reg.readers;
+      let id = reg.next_id in
+      reg.next_id <- id + 1;
+      id
 
 let with_registry reg f =
   let slot = Domain.DLS.get current_registry in
@@ -57,7 +87,8 @@ let registry_digest (reg : registry) =
   (* Readers are stored in reverse registration order; any fixed order
      works as long as two instances of the same factory agree, which
      they do (allocation order is deterministic). *)
-  List.fold_left (fun acc reader -> combine acc (reader ())) 0x811c9dc5 !reg
+  List.fold_left (fun acc reader -> combine acc (reader ())) 0x811c9dc5
+    reg.readers
 
 (* ------------------------------------------------------------------ *)
 (* Cells.                                                              *)
@@ -66,7 +97,11 @@ let registry_digest (reg : registry) =
    flag: [resume] executes the pending atomic action and runs to the
    next suspension point; [kill] unwinds the computation with
    [Killed]. *)
-type suspended = { resume : unit -> unit; kill : unit -> unit }
+type suspended = {
+  resume : unit -> unit;
+  kill : unit -> unit;
+  pending : footprint;  (* of the atomic action awaiting its grant *)
+}
 
 type slot = S_idle | S_ready of suspended | S_crashed
 
@@ -80,6 +115,9 @@ let status cell =
   | S_ready _ -> Ready
   | S_crashed -> Crashed
 
+let pending_footprint cell =
+  match cell.slot with S_ready s -> Some s.pending | S_idle | S_crashed -> None
+
 let obs cell = cell.obs
 
 let handler cell =
@@ -91,7 +129,7 @@ let handler cell =
     effc =
       (fun (type b) (eff : b Effect.t) ->
         match eff with
-        | Atomic f ->
+        | Atomic (fp, f) ->
             Some
               (fun (k : (b, unit) continuation) ->
                 let used = ref false in
@@ -114,7 +152,7 @@ let handler cell =
                     try discontinue k Killed with Killed -> ()
                   end
                 in
-                cell.slot <- S_ready { resume; kill })
+                cell.slot <- S_ready { resume; kill; pending = fp })
         | _ -> None);
   }
 

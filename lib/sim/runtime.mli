@@ -21,6 +21,36 @@ val atomic : (unit -> 'a) -> 'a
     Must be called from code running under {!spawn}; otherwise raises
     [Effect.Unhandled]. *)
 
+(** {1 Access footprints}
+
+    The partial-order reduction of {!Slx_core.Explore} needs to know
+    which pending steps {e commute}: two suspended atomic actions that
+    touch different base objects (or both merely read the same one)
+    can be granted in either order with the same resulting
+    configuration.  A footprint declares, before the action runs, what
+    it may touch. *)
+
+(** The declared footprint of a pending atomic action. *)
+type footprint =
+  | Opaque
+      (** Undeclared (the plain {!atomic}); conservatively conflicts
+          with every other action. *)
+  | Access of { obj : int; write : bool }
+      (** Touches the base object with id [obj]; [write] says the
+          action may modify it.  Object granularity: an action on a
+          multi-slot object (e.g. a snapshot segment update) declares
+          the whole object. *)
+
+val atomic_access : obj:int -> write:bool -> (unit -> 'a) -> 'a
+(** {!atomic} with a declared footprint: one atomic step on base
+    object [obj], writing iff [write].  Base-object modules obtain
+    [obj] from {!register_object}. *)
+
+val footprints_commute : footprint -> footprint -> bool
+(** Whether two pending actions with these footprints commute: both
+    declared, and on different objects or both reads of the same
+    object.  [Opaque] commutes with nothing (sound default). *)
+
 exception Killed
 (** Raised inside a process's computation when the process is crashed
     by the scheduler, to unwind its stack.  Algorithms must not catch
@@ -60,6 +90,10 @@ val crash : cell -> unit
     {!Killed} and the cell becomes [Crashed].  Idempotent on crashed
     cells; legal on idle cells (the process just never steps again). *)
 
+val pending_footprint : cell -> footprint option
+(** The declared footprint of the atomic action a [Ready] process is
+    suspended at; [None] when the cell is [Idle] or [Crashed]. *)
+
 (** {1 Configuration fingerprinting}
 
     The exploration engine ({!Slx_core.Explore}) prunes schedule
@@ -96,10 +130,14 @@ val with_registry : registry -> (unit -> 'a) -> 'a
     (restoring the previous one afterwards, exceptions included).  The
     current registry is domain-local. *)
 
-val register_object : (unit -> int) -> unit
+val register_object : (unit -> int) -> int
 (** Called by base-object constructors: adds a reader returning a hash
-    of the object's current state to the current registry.  A no-op
-    when no registry is current (plain {!Runner.run}s pay nothing). *)
+    of the object's current state to the current registry, and returns
+    the object's footprint id (for {!atomic_access}).  Ids issued by
+    one registry are positive, deterministic (allocation order), and
+    unique within the registry; with no registry current the reader is
+    dropped and a fresh negative id is returned (plain {!Runner.run}s
+    pay nothing). *)
 
 val registry_digest : registry -> int
 (** Fold of all registered readers — a digest of the current shared

@@ -385,7 +385,7 @@ let test_explore_finds_selfish_counterexample () =
       check_bool "counterexample really violates safety" false
         (Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history)
 
-let explore_selfish ?cache ?domains engine =
+let explore_selfish ?cache ?cache_capacity ?por ?symmetry ?domains engine =
   let check r =
     Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history
   in
@@ -396,7 +396,7 @@ let explore_selfish ?cache ?domains engine =
         ()
   | `Incremental ->
       Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:6 ?cache
-        ?domains ~check ()
+        ?cache_capacity ?por ?symmetry ?domains ~check ()
 
 let selfish_witness =
   (* The lexicographically least failing script: in the canonical menu
@@ -428,8 +428,14 @@ let test_explore_witness_is_deterministic () =
       ("naive", explore_selfish `Naive);
       ("incremental", explore_selfish `Incremental);
       ("no-cache", explore_selfish ~cache:false `Incremental);
+      ("bounded-cache", explore_selfish ~cache_capacity:4 `Incremental);
+      ("por", explore_selfish ~por:true `Incremental);
+      ("symmetry", explore_selfish ~symmetry:true `Incremental);
+      ("por+symmetry", explore_selfish ~por:true ~symmetry:true `Incremental);
       ("domains-3", explore_selfish ~domains:3 `Incremental);
       ("domains-8", explore_selfish ~domains:8 `Incremental);
+      ( "por+symmetry domains-3",
+        explore_selfish ~por:true ~symmetry:true ~domains:3 `Incremental );
     ]
   in
   List.iter
@@ -470,6 +476,49 @@ let test_explore_stats_sanity () =
   check_int "naive replays at every node" ns.Explore_stats.steps_executed
     ns.Explore_stats.steps_replayed
 
+let test_explore_reduction_stats () =
+  (* The reductions and the bounded cache must each leave their trace
+     in the stats — and none of them may change the verdict. *)
+  let check r =
+    Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history
+  in
+  let factory () = Slx_consensus.Register_consensus.factory () in
+  let explore ?cache_capacity ?(por = false) ?(symmetry = false) () =
+    Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:10
+      ?cache_capacity ~por ~symmetry ~check ()
+  in
+  let plain = explore () in
+  let reduced = explore ~por:true ~symmetry:true () in
+  let bounded = explore ~cache_capacity:8 () in
+  let safe e =
+    match e.Explore.outcome with
+    | Explore.Ok _ -> true
+    | Explore.Counterexample _ -> false
+  in
+  check_bool "register consensus safe under reductions" true
+    (safe plain && safe reduced && safe bounded);
+  let s = reduced.Explore.stats in
+  check_bool "POR put processes to sleep" true (s.Explore_stats.por_sleeps > 0);
+  check_bool "symmetry pruned untouched-process decisions" true
+    (s.Explore_stats.symmetry_pruned > 0);
+  check_bool "reductions cut executed steps" true
+    (s.Explore_stats.steps_executed
+    < plain.Explore.stats.Explore_stats.steps_executed);
+  check_bool "reductions explore fewer representatives" true
+    (s.Explore_stats.runs < plain.Explore.stats.Explore_stats.runs);
+  check_bool "plain engine sleeps and prunes nothing" true
+    (plain.Explore.stats.Explore_stats.por_sleeps = 0
+    && plain.Explore.stats.Explore_stats.symmetry_pruned = 0);
+  let b = bounded.Explore.stats in
+  check_bool "tiny cache evicts" true (b.Explore_stats.cache_evictions > 0);
+  check_bool "bounded cache stays within capacity" true
+    (b.Explore_stats.cache_entries <= 8);
+  check_int "bounded cache agrees on the run count"
+    plain.Explore.stats.Explore_stats.runs b.Explore_stats.runs;
+  check_bool "bounded cache agrees on the run set" true
+    (b.Explore_stats.history_digest
+    = plain.Explore.stats.Explore_stats.history_digest)
+
 let test_explore_parallel_matches_sequential () =
   let check r =
     Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history
@@ -491,7 +540,13 @@ let test_explore_parallel_matches_sequential () =
   check_bool "fanned out" true (par.Explore.stats.Explore_stats.domains_used > 1);
   check_int "per-domain runs sum to the total"
     par.Explore.stats.Explore_stats.runs
-    (List.fold_left ( + ) 0 par.Explore.stats.Explore_stats.per_domain_runs)
+    (List.fold_left ( + ) 0 par.Explore.stats.Explore_stats.per_domain_runs);
+  check_int "per-domain steps sum to the total"
+    par.Explore.stats.Explore_stats.steps_executed
+    (List.fold_left ( + ) 0 par.Explore.stats.Explore_stats.per_domain_steps);
+  check_int "one per-domain entry per domain"
+    par.Explore.stats.Explore_stats.domains_used
+    (List.length par.Explore.stats.Explore_stats.per_domain_steps)
 
 (* One start-tryC transaction per process, derived from the history. *)
 let one_txn view p =
@@ -573,6 +628,7 @@ let suites =
         quick "crash branching" test_explore_with_crashes;
         quick "deterministic least witness" test_explore_witness_is_deterministic;
         quick "stats sanity" test_explore_stats_sanity;
+        quick "reduction + eviction stats" test_explore_reduction_stats;
         quick "parallel matches sequential" test_explore_parallel_matches_sequential;
       ] );
     ( "core-figure1",

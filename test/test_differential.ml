@@ -219,6 +219,29 @@ let explorer_equivalence name ~factory ~invoke ~depth ~max_crashes =
   in
   let digest e = e.Explore.stats.Explore_stats.history_digest in
   check_int (name ^ ": cache-off run count") (runs naive) (runs nocache);
+  (* Work-stealing with the cache off visits every maximal run exactly
+     once too, split across domains — compare the exact multiset again,
+     accumulated through an atomic (check runs concurrently). *)
+  let ws_hist = Atomic.make [] in
+  let ws_collect r =
+    let h = Slx_sim.Runtime.hash_value r.Run_report.history in
+    let rec add () =
+      let cur = Atomic.get ws_hist in
+      if not (Atomic.compare_and_set ws_hist cur (h :: cur)) then add ()
+    in
+    add ();
+    true
+  in
+  let ws =
+    Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes ~cache:false
+      ~domains:3 ~check:ws_collect ()
+  in
+  check_bool
+    (name ^ ": work-stealing cache-off engine visits the identical run \
+             multiset")
+    true
+    (multiset naive_hist = List.sort compare (Atomic.get ws_hist));
+  check_int (name ^ ": work-stealing run count") (runs naive) (runs ws);
   (* Cached engines, sequential and fanned out: count + digest. *)
   let check r = ignore (r : _ Run_report.t); true in
   let cached =
@@ -233,7 +256,37 @@ let explorer_equivalence name ~factory ~invoke ~depth ~max_crashes =
       check_int (name ^ ": " ^ engine ^ " run count") (runs naive) (runs e);
       check_bool (name ^ ": " ^ engine ^ " history digest") true
         (digest naive = digest e))
-    [ ("cached", cached); ("parallel", parallel) ]
+    [ ("cached", cached); ("parallel", parallel) ];
+  (* Reduced engines explore representatives only: the run count drops
+     but the verdict must agree with naive on the same instance, and
+     each reduced configuration must be self-deterministic (same count
+     and digest on a re-run). *)
+  List.iter
+    (fun (engine, por, symmetry, domains) ->
+      let reduced () =
+        Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes ~por
+          ~symmetry ~domains ~check ()
+      in
+      let e = reduced () and e' = reduced () in
+      check_bool (name ^ ": " ^ engine ^ " verdict agrees with naive") true
+        (match (e.Explore.outcome, naive.Explore.outcome) with
+        | Explore.Ok _, Explore.Ok _ -> true
+        | Explore.Counterexample _, Explore.Counterexample _ -> true
+        | _ -> false);
+      check_bool
+        (name ^ ": " ^ engine ^ " explores a nonempty subset of the runs")
+        true
+        (runs e >= 1 && runs e <= runs naive);
+      check_int (name ^ ": " ^ engine ^ " is deterministic (count)") (runs e)
+        (runs e');
+      check_bool (name ^ ": " ^ engine ^ " is deterministic (digest)") true
+        (digest e = digest e'))
+    [
+      ("por", true, false, 1);
+      ("symmetry", false, true, 1);
+      ("por+symmetry", true, true, 1);
+      ("por+symmetry work-stealing", true, true, 3);
+    ]
 
 let one_proposal =
   Explore.workload_invoke
@@ -273,6 +326,67 @@ let test_explorers_agree_tm_crashes () =
     ~factory:(fun () -> Agp_tm.factory ~vars:1)
     ~invoke:one_txn ~depth:6 ~max_crashes:1
 
+(* Counterexample equivalence: on a violating instance (selfish
+   consensus breaks agreement) every engine configuration — naive,
+   cached or not, reduced or not, sequential or fanned out — must
+   report the byte-identical lexicographically-least witness script
+   and failing history.  The selfish violation involves both
+   processes' invocations, so no reduction can prune it away. *)
+let test_explorers_agree_on_counterexample () =
+  let factory () = Slx_consensus.Selfish_consensus.factory () in
+  let check r = Slx_consensus.Consensus_safety.check r.Run_report.history in
+  let witness e =
+    match (e.Explore.outcome, e.Explore.witness_script) with
+    | Explore.Counterexample r, Some script ->
+        (script, Slx_sim.Runtime.hash_value r.Run_report.history)
+    | _ -> Alcotest.fail "selfish consensus: expected a counterexample"
+  in
+  let reference =
+    witness
+      (Explore.explore_naive ~n:2 ~factory ~invoke:one_proposal ~depth:8
+         ~check ())
+  in
+  List.iter
+    (fun (engine, run) ->
+      check_bool
+        ("selfish counterexample: " ^ engine ^ " matches naive witness")
+        true
+        (witness (run ()) = reference))
+    [
+      ( "cached",
+        fun () ->
+          Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:8 ~check
+            () );
+      ( "cache-off",
+        fun () ->
+          Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:8
+            ~cache:false ~check () );
+      ( "por",
+        fun () ->
+          Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:8
+            ~por:true ~check () );
+      ( "symmetry",
+        fun () ->
+          Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:8
+            ~symmetry:true ~check () );
+      ( "por+symmetry",
+        fun () ->
+          Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:8
+            ~por:true ~symmetry:true ~check () );
+      ( "work-stealing",
+        fun () ->
+          Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:8
+            ~domains:3 ~check () );
+      ( "por+symmetry work-stealing",
+        fun () ->
+          Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:8
+            ~por:true ~symmetry:true ~domains:3 ~check () );
+      ( "bounded cache",
+        fun () ->
+          Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth:8
+            ~cache_capacity:16 ~check () );
+    ]
+
 let suites =
   [
     ( "differential",
@@ -285,5 +399,6 @@ let suites =
         quick "register consensus run set" test_explorers_agree_register_consensus;
         quick "TM run set" test_explorers_agree_tm;
         quick "TM run set, crashes" test_explorers_agree_tm_crashes;
+        quick "counterexample equivalence" test_explorers_agree_on_counterexample;
       ] );
   ]
