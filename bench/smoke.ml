@@ -76,6 +76,53 @@ let explore_reduced ~impl ~factory ~depth ~max_crashes =
       (safe inc) (safe red);
   (ratio, agree)
 
+(* The fair-cycle search on the Theorem 5.2 split: the (1,2) lasso must
+   be found and (1,1) must come back clean under a solo window, with
+   the work counters emitted as the BENCH_explore.json "live" rows. *)
+let live_smoke () =
+  Printf.printf "== bench smoke: fair-cycle search (live explorer) ==\n";
+  let factory () = Slx_consensus.Register_consensus.factory ~max_rounds:16 () in
+  let invoke =
+    Slx_core.Explore.workload_invoke
+      (Driver.forever (fun p -> Slx_consensus.Consensus_type.Propose (p - 1)))
+  in
+  let good (_ : Slx_consensus.Consensus_type.response) = true in
+  let case ~name ~point ~depth ~max_crashes =
+    let r =
+      Slx_core.Live_explore.search ~n:2 ~factory ~invoke ~good ~point ~depth
+        ~max_crashes ()
+    in
+    let st = r.Slx_core.Live_explore.stats in
+    let outcome =
+      match r.Slx_core.Live_explore.outcome with
+      | Slx_core.Live_explore.Lasso _ -> "lasso"
+      | Slx_core.Live_explore.No_fair_cycle -> "no_fair_cycle"
+    in
+    Printf.printf
+      "  {\"case\": %S, \"outcome\": %S, \"nodes\": %d, \"steps\": %d, \
+       \"cycles_examined\": %d, \"fair_cycles\": %d}\n"
+      name outcome st.Slx_core.Explore_stats.nodes
+      st.Slx_core.Explore_stats.steps_executed
+      st.Slx_core.Explore_stats.cycles_examined
+      st.Slx_core.Explore_stats.fair_cycles;
+    outcome
+  in
+  let o12 =
+    case ~name:"register-live-(1,2)-depth-8"
+      ~point:(Slx_liveness.Freedom.make ~l:1 ~k:2)
+      ~depth:8 ~max_crashes:0
+  in
+  let o11 =
+    case ~name:"register-live-(1,1)-depth-8-crashes-1"
+      ~point:Slx_liveness.Freedom.obstruction_freedom ~depth:8 ~max_crashes:1
+  in
+  let ok = o12 = "lasso" && o11 = "no_fair_cycle" in
+  if not ok then
+    Printf.printf
+      "  SMOKE FAILURE: Theorem 5.2 split not reproduced ((1,2) %s, (1,1) %s)\n"
+      o12 o11;
+  ok
+
 let run () =
   Printf.printf "== bench smoke: incremental explorer vs naive replay ==\n";
   let cas_ratio, cas_eq =
@@ -94,13 +141,15 @@ let run () =
       ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
       ~depth:10 ~max_crashes:0
   in
+  let live_ok = live_smoke () in
   let ok =
     cas_ratio >= 3.0 && crash_ratio >= 3.0 && red_ratio >= 3.0 && cas_eq
-    && crash_eq && red_eq
+    && crash_eq && red_eq && live_ok
   in
   Printf.printf
     "smoke %s: depth-8 incremental ratios %.2fx / %.2fx, depth-10 reduction \
-     ratio %.2fx (bar: 3x each)\n"
+     ratio %.2fx (bar: 3x each), live split %s\n"
     (if ok then "OK" else "FAILED")
-    cas_ratio crash_ratio red_ratio;
+    cas_ratio crash_ratio red_ratio
+    (if live_ok then "reproduced" else "BROKEN");
   ok

@@ -1,7 +1,12 @@
 (* The slx command-line interface.
 
-   slx figure1 --object consensus|tm|s-prime [--procs N] [--steps N]
+   slx figure1 --object consensus|tm|s-prime [--procs N] [--steps N] [--json]
        Regenerate a panel of Figure 1 (or the Section 5.3 grid).
+
+   slx live-explore --impl register|cas|selfish --property obstruction|l,k
+       [--depth N] [--crashes N] [--json]
+       Search the bounded configuration graph for a fair,
+       progress-free cycle (a pumpable lasso certificate).
 
    slx game --impl register|cas --adversary lockstep|tie [--steps N]
        Play a consensus exclusion game and report the verdict.
@@ -22,7 +27,10 @@ open Slx_core
 
 let figure1_cmd =
   let object_arg =
-    let doc = "Which grid: consensus, tm, s-prime, or mutex." in
+    let doc =
+      "Which grid: consensus, consensus-exhaustive (fair-cycle search), \
+       tm, s-prime, or mutex."
+    in
     Arg.(value & opt string "consensus" & info [ "object"; "o" ] ~doc)
   in
   let procs_arg =
@@ -33,10 +41,20 @@ let figure1_cmd =
     let doc = "Step budget per run." in
     Arg.(value & opt int 900 & info [ "steps" ] ~doc)
   in
-  let run obj n max_steps =
+  let depth_arg =
+    let doc = "Schedule-tree depth (consensus-exhaustive only)." in
+    Arg.(value & opt int 10 & info [ "depth" ] ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the grid as one JSON object.")
+  in
+  let run obj n max_steps depth json =
     let grid =
       match obj with
       | "consensus" -> Ok (Figure1.consensus ~n ~max_steps ())
+      | "consensus-exhaustive" ->
+          Ok (Figure1.consensus_exhaustive ~n ~depth ())
       | "tm" -> Ok (Figure1.tm ~n ~max_steps ())
       | "s-prime" -> Ok (Figure1.s_prime ~n ~max_steps ())
       | "mutex" -> Ok (Figure1.mutex ~n ~max_steps ())
@@ -46,6 +64,9 @@ let figure1_cmd =
     | Error e ->
         prerr_endline e;
         1
+    | Ok grid when json ->
+        print_endline (Figure1.to_json grid);
+        0
     | Ok grid ->
         print_string (Figure1.render grid);
         let pp points =
@@ -59,7 +80,7 @@ let figure1_cmd =
   in
   Cmd.v
     (Cmd.info "figure1" ~doc:"Regenerate a Figure 1 panel experimentally")
-    Term.(const run $ object_arg $ procs_arg $ steps_arg)
+    Term.(const run $ object_arg $ procs_arg $ steps_arg $ depth_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* game (consensus)                                                    *)
@@ -385,10 +406,179 @@ let explore_cmd =
       $ no_cache_arg $ cache_capacity_arg $ no_por_arg $ no_symmetry_arg
       $ json_arg $ naive_arg)
 
+(* ------------------------------------------------------------------ *)
+(* live-explore                                                        *)
+
+let live_explore_cmd =
+  let impl_arg =
+    let doc = "Implementation: register, cas, or selfish (consensus)." in
+    Arg.(value & opt string "register" & info [ "impl"; "i" ] ~doc)
+  in
+  let property_arg =
+    let doc =
+      "Liveness property: obstruction, lock, wait, or an explicit \
+       (l,k)-freedom point written l,k (e.g. 1,2)."
+    in
+    Arg.(value & opt string "obstruction" & info [ "property"; "p" ] ~doc)
+  in
+  let procs_arg =
+    Arg.(value & opt int 2 & info [ "procs"; "n" ] ~doc:"System size n.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 10 & info [ "depth" ] ~doc:"Schedule-tree depth.")
+  in
+  let crashes_arg =
+    let doc =
+      "Max crash branches (pass at least n-1 to give obstruction-style \
+       points their solo windows)."
+    in
+    Arg.(value & opt int 0 & info [ "crashes" ] ~doc)
+  in
+  let max_period_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-period" ]
+             ~doc:"Bound candidate cycle length in ticks (default depth/2).")
+  in
+  let pump_arg =
+    Arg.(value & opt (some int) None
+         & info [ "pump" ]
+             ~doc:"Certificate validation budget in ticks (default 4*depth).")
+  in
+  let invoke_order_arg =
+    Arg.(value & flag
+         & info [ "invoke-order" ]
+             ~doc:"Offer only the least idle process's invocation at each \
+                   node (the cycle-sound reduction).")
+  in
+  let no_cache_arg =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Disable the transposition cache.")
+  in
+  let cache_capacity_arg =
+    Arg.(value & opt (some int) None
+         & info [ "cache-capacity" ]
+             ~doc:"Bound the transposition cache (clock eviction).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the verdict, certificate and statistics as one \
+                   JSON object.")
+  in
+  let run impl property n depth max_crashes max_period pump_ticks invoke_order
+      no_cache cache_capacity json =
+    let open Slx_consensus in
+    let factory =
+      match impl with
+      | "register" ->
+          Ok (fun () -> Register_consensus.factory ~max_rounds:(max 8 depth) ())
+      | "cas" -> Ok (fun () -> Cas_consensus.factory ())
+      | "selfish" -> Ok (fun () -> Selfish_consensus.factory ())
+      | other -> Error (Printf.sprintf "unknown implementation %S" other)
+    in
+    let point =
+      match property with
+      | "obstruction" -> Ok Freedom.obstruction_freedom
+      | "lock" -> Ok (Freedom.lock_freedom ~n)
+      | "wait" -> Ok (Freedom.wait_freedom ~n)
+      | s -> begin
+          match String.split_on_char ',' s with
+          | [ l; k ] -> begin
+              match
+                (int_of_string_opt (String.trim l),
+                 int_of_string_opt (String.trim k))
+              with
+              | Some l, Some k when l >= 1 && k >= 1 ->
+                  Ok (Freedom.make ~l ~k)
+              | _ -> Error (Printf.sprintf "unknown property %S" s)
+            end
+          | _ -> Error (Printf.sprintf "unknown property %S" s)
+        end
+    in
+    match (factory, point) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        1
+    | Ok factory, Ok point ->
+        let invoke =
+          Explore.workload_invoke
+            (Slx_sim.Driver.forever (fun p -> Consensus_type.Propose (p - 1)))
+        in
+        let good (_ : Consensus_type.response) = true in
+        let r =
+          Live_explore.search ~n ~factory ~invoke ~good ~point ~depth
+            ~max_crashes ?max_period ?pump_ticks ~invoke_order
+            ~cache:(not no_cache) ?cache_capacity ()
+        in
+        let dec_string = function
+          | Slx_sim.Driver.Schedule p -> Printf.sprintf "S%d" p
+          | Slx_sim.Driver.Invoke (p, Consensus_type.Propose v) ->
+              Printf.sprintf "I%d(%d)" p v
+          | Slx_sim.Driver.Crash p -> Printf.sprintf "C%d" p
+          | Slx_sim.Driver.Stop -> "stop"
+        in
+        let property_string = Format.asprintf "%a" Freedom.pp point in
+        if json then begin
+          let cert_json =
+            match r.Live_explore.outcome with
+            | Live_explore.No_fair_cycle -> ""
+            | Live_explore.Lasso c ->
+                let script ds =
+                  "["
+                  ^ String.concat ", "
+                      (List.map (fun d -> Printf.sprintf "%S" (dec_string d)) ds)
+                  ^ "]"
+                in
+                Printf.sprintf ", \"stem\": %s, \"cycle\": %s, \"period\": %d"
+                  (script c.Lasso.c_stem) (script c.Lasso.c_cycle)
+                  (List.length c.Lasso.c_cycle)
+          in
+          let outcome =
+            match r.Live_explore.outcome with
+            | Live_explore.Lasso _ -> "lasso"
+            | Live_explore.No_fair_cycle -> "no_fair_cycle"
+          in
+          Printf.printf
+            "{\"impl\": %S, \"property\": %S, \"n\": %d, \"depth\": %d, \
+             \"max_crashes\": %d, \"outcome\": %S%s, \"stats\": %s}\n"
+            impl property_string n depth max_crashes outcome cert_json
+            (Explore_stats.to_json r.Live_explore.stats)
+        end
+        else begin
+          (match r.Live_explore.outcome with
+          | Live_explore.Lasso c ->
+              Printf.printf
+                "fair non-progressing lasso found: %s is excluded\n"
+                property_string;
+              Printf.printf "  stem:  %s\n"
+                (String.concat " " (List.map dec_string c.Lasso.c_stem));
+              Printf.printf "  cycle: %s  (period %d, pump-validated)\n"
+                (String.concat " " (List.map dec_string c.Lasso.c_cycle))
+                (List.length c.Lasso.c_cycle)
+          | Live_explore.No_fair_cycle ->
+              Printf.printf
+                "no fair non-progressing cycle within depth %d: %s is not \
+                 excluded on this bounded graph\n"
+                depth property_string);
+          Format.printf "%a@." Explore_stats.pp r.Live_explore.stats
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "live-explore"
+       ~doc:
+         "Search the bounded configuration graph for a fair, progress-free \
+          cycle")
+    Term.(
+      const run $ impl_arg $ property_arg $ procs_arg $ depth_arg $ crashes_arg
+      $ max_period_arg $ pump_arg $ invoke_order_arg $ no_cache_arg
+      $ cache_capacity_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "slx" ~version:"1.0.0"
       ~doc:"Safety-liveness exclusion in distributed computing (PODC 2015)"
   in
   exit (Cmd.eval' (Cmd.group info
-       [ figure1_cmd; game_cmd; tm_game_cmd; theorems_cmd; mutex_cmd; explore_cmd ]))
+       [ figure1_cmd; game_cmd; tm_game_cmd; theorems_cmd; mutex_cmd;
+         explore_cmd; live_explore_cmd ]))

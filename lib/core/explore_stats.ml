@@ -10,6 +10,8 @@ type t = {
   cache_evictions : int;
   por_sleeps : int;
   symmetry_pruned : int;
+  cycles_examined : int;
+  fair_cycles : int;
   domains_used : int;
   steals : int;
   per_domain_runs : int list;
@@ -30,6 +32,8 @@ let zero =
     cache_evictions = 0;
     por_sleeps = 0;
     symmetry_pruned = 0;
+    cycles_examined = 0;
+    fair_cycles = 0;
     domains_used = 0;
     steals = 0;
     per_domain_runs = [];
@@ -50,6 +54,8 @@ let merge a b =
     cache_evictions = a.cache_evictions + b.cache_evictions;
     por_sleeps = a.por_sleeps + b.por_sleeps;
     symmetry_pruned = a.symmetry_pruned + b.symmetry_pruned;
+    cycles_examined = a.cycles_examined + b.cycles_examined;
+    fair_cycles = a.fair_cycles + b.fair_cycles;
     domains_used = max a.domains_used b.domains_used;
     steals = a.steals + b.steals;
     per_domain_runs = a.per_domain_runs @ b.per_domain_runs;
@@ -69,6 +75,9 @@ let pp fmt s =
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
     s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
     s.por_sleeps s.symmetry_pruned s.domains_used s.steals;
+  if s.cycles_examined > 0 || s.fair_cycles > 0 then
+    Format.fprintf fmt "@,cycles:           %d examined, %d fair violating"
+      s.cycles_examined s.fair_cycles;
   (match s.per_domain_runs with
   | [] | [ _ ] -> ()
   | rs -> Format.fprintf fmt "@,runs per domain:  %s" (pp_int_list rs));
@@ -86,11 +95,13 @@ let to_json s =
      \"steps_executed\": %d, \"steps_replayed\": %d, \
      \"replays_avoided\": %d, \"cache_hits\": %d, \"cache_entries\": %d, \
      \"cache_evictions\": %d, \"por_sleeps\": %d, \"symmetry_pruned\": %d, \
+     \"cycles_examined\": %d, \"fair_cycles\": %d, \
      \"domains_used\": %d, \"steals\": %d, \"per_domain_runs\": %s, \
      \"per_domain_steps\": %s, \"history_digest\": %d}"
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
     s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
-    s.por_sleeps s.symmetry_pruned s.domains_used s.steals
+    s.por_sleeps s.symmetry_pruned s.cycles_examined s.fair_cycles
+    s.domains_used s.steals
     (json_int_list s.per_domain_runs)
     (json_int_list s.per_domain_steps)
     s.history_digest

@@ -39,6 +39,14 @@ type t = {
   symmetry_pruned : int;
       (** Decisions pruned as symmetric to a lower-numbered untouched
           process's decision (symmetry reduction orbit pruning). *)
+  cycles_examined : int;
+      (** Fair-cycle search ({!Live_explore}) only: candidate cycles
+          examined — periodic suffixes of the abstract trace found
+          during the walk (0 for the safety engines). *)
+  fair_cycles : int;
+      (** Fair-cycle search only: candidates that were fair and
+          progress-violating before certificate validation; the search
+          stops at the first one whose certificate also pumps. *)
   domains_used : int;  (** Domains the exploration actually fanned over. *)
   steals : int;
       (** Frontier items executed by a domain other than the one that

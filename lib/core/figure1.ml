@@ -81,6 +81,45 @@ let consensus ?(n = 3) ?(max_steps = 1200) ?(seeds = [ 1; 2; 3 ]) () =
     positive_runs = List.length positive;
   }
 
+(* The same grid by exhaustive fair-cycle search instead of sampled
+   adversary games: every (l,k) point is classified by whether
+   {!Live_explore.search} finds a validated fair progress-free lasso in
+   the bounded configuration graph.  [max_crashes = n - 1] gives the
+   obstruction-style points their solo windows (a blocked-forever
+   lockstep partner is unfair unless crashed); [max_rounds] is kept just
+   above the rounds reachable at [depth] so configuration fingerprints
+   stay cheap. *)
+let consensus_exhaustive ?(n = 2) ?(depth = 10) () =
+  let open Slx_consensus in
+  let factory () = Register_consensus.factory ~max_rounds:(max 8 depth) () in
+  let invoke =
+    Explore.workload_invoke
+      (Driver.forever (fun p -> Consensus_type.Propose (p - 1)))
+  in
+  let good (_ : Consensus_type.response) = true in
+  let cells =
+    List.map
+      (fun point ->
+        let r =
+          Live_explore.search ~n ~factory ~invoke ~good ~point ~depth
+            ~max_crashes:(n - 1) ()
+        in
+        let color =
+          match r.Live_explore.outcome with
+          | Live_explore.Lasso _ -> Excluded
+          | Live_explore.No_fair_cycle -> Not_excluded
+        in
+        (point, color))
+      (Freedom.all ~n)
+  in
+  {
+    name = "Figure 1a (exhaustive): consensus, fair-cycle search";
+    n;
+    cells;
+    adversary_runs = 0;
+    positive_runs = 0;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Figure 1b: TM vs opacity.                                           *)
 
@@ -265,3 +304,19 @@ let render grid =
   done;
   Buffer.add_string buf "  (o = does not exclude, # = excludes)\n";
   Buffer.contents buf
+
+let color_name = function
+  | Not_excluded -> "not_excluded"
+  | Excluded -> "excluded"
+  | Unknown -> "unknown"
+
+let to_json grid =
+  let cell (p, c) =
+    Printf.sprintf "{\"l\": %d, \"k\": %d, \"color\": \"%s\"}" (Freedom.l p)
+      (Freedom.k p) (color_name c)
+  in
+  Printf.sprintf
+    "{\"name\": %S, \"n\": %d, \"adversary_runs\": %d, \"positive_runs\": %d, \
+     \"cells\": [%s]}"
+    grid.name grid.n grid.adversary_runs grid.positive_runs
+    (String.concat ", " (List.map cell grid.cells))

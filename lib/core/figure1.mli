@@ -51,6 +51,17 @@ val consensus : ?n:int -> ?max_steps:int -> ?seeds:int list -> unit -> grid
 (** Figure 1a: agreement-and-validity, register consensus, lockstep
     adversary.  Defaults: [n = 3], [max_steps = 1200], three seeds. *)
 
+val consensus_exhaustive : ?n:int -> ?depth:int -> unit -> grid
+(** Figure 1a again, but by {e exhaustive fair-cycle search}
+    ({!Live_explore.search}) instead of sampled adversary games: a
+    point is {b Excluded} iff the bounded configuration graph contains
+    a validated fair progress-free lasso for it (with up to [n - 1]
+    crashes, so obstruction-style points get their solo windows), and
+    {b Not_excluded} otherwise — no [Unknown] is possible.  Defaults
+    [n = 2], [depth = 10]: big enough for Theorem 5.2's split, small
+    enough to exhaust.  Experiment E20 cross-checks this grid
+    cell-by-cell against {!consensus}. *)
+
 val tm : ?n:int -> ?max_steps:int -> ?seeds:int list -> unit -> grid
 (** Figure 1b: opacity, the AGP TM, the Section 4.1 adversary. *)
 
@@ -80,3 +91,10 @@ val render : grid -> string
 (** An ASCII rendering in the layout of Figure 1: rows are [l]
     (decreasing), columns [k]; [o] = white (does not exclude),
     [#] = black (excludes), [?] = unknown. *)
+
+val to_json : grid -> string
+(** One-line JSON object of the grid ([cells] as an array of
+    [{"l": _, "k": _, "color": "not_excluded" | "excluded" |
+    "unknown"}]), in the machine-readable style of the explore
+    [--json] stats records; consumed by the E20 cross-validation
+    bench and [slx figure1 --json]. *)

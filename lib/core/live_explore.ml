@@ -1,0 +1,338 @@
+open Slx_history
+open Slx_sim
+open Slx_liveness
+
+type ('inv, 'res) outcome =
+  | Lasso of ('inv, 'res) Lasso.cert
+  | No_fair_cycle
+
+type ('inv, 'res) result = {
+  outcome : ('inv, 'res) outcome;
+  stats : Explore_stats.t;
+}
+
+exception Found_lasso
+
+(* Transposition keys pair the raw configuration fingerprint with the
+   last [2 * max_period] abstract trace cells: every candidate cycle
+   examined at or below a node is a function of the configuration (the
+   fingerprint, which embeds the full history and hence all response
+   payloads) and of at most that much trace suffix, so two prefixes
+   agreeing on both have identical candidate sets below — an entry is
+   written only for completed lasso-free subtrees. *)
+type ('inv, 'res) key = {
+  k_fp : ('inv, 'res) Runner.fingerprint;
+  k_cells : string list list;
+}
+
+type ('inv, 'res) state = {
+  mutable nodes : int;
+  mutable runs : int;
+  mutable replayed : int;
+  mutable avoided : int;
+  mutable hits : int;
+  mutable invoke_pruned : int;
+  mutable cycles : int;
+  mutable fair : int;
+  mutable found : ('inv, 'res) Lasso.cert option;
+  ticks : int ref;
+  table : (('inv, 'res) key, unit) Clock_cache.t;
+}
+
+let new_state ?capacity () =
+  {
+    nodes = 0;
+    runs = 0;
+    replayed = 0;
+    avoided = 0;
+    hits = 0;
+    invoke_pruned = 0;
+    cycles = 0;
+    fair = 0;
+    found = None;
+    ticks = ref 0;
+    table = Clock_cache.create ?capacity ();
+  }
+
+let stats_of_state st : Explore_stats.t =
+  {
+    Explore_stats.zero with
+    Explore_stats.nodes = st.nodes;
+    runs = st.runs;
+    steps_executed = !(st.ticks);
+    steps_replayed = st.replayed;
+    replays_avoided = st.avoided;
+    cache_hits = st.hits;
+    cache_entries = Clock_cache.length st.table;
+    cache_evictions = Clock_cache.evictions st.table;
+    por_sleeps = st.invoke_pruned;
+    cycles_examined = st.cycles;
+    fair_cycles = st.fair;
+    domains_used = 1;
+  }
+
+let rec take k xs =
+  if k <= 0 then []
+  else match xs with [] -> [] | x :: tl -> x :: take (k - 1) tl
+
+let rec drop k xs =
+  if k <= 0 then xs else match xs with [] -> [] | _ :: tl -> drop (k - 1) tl
+
+(* The abstract cell of the tick that applied [d] and appended the
+   events [fresh]: exactly what {!Lasso.tick_cells} reports for that
+   tick, so certificates built from these cells replay-compare
+   directly. *)
+let cell_of d fresh =
+  (match d with
+  | Driver.Schedule p -> [ Printf.sprintf "p%d:step" p ]
+  | _ -> [])
+  @ List.map Lasso.skeleton fresh
+
+let goods_of ~good fresh =
+  List.fold_left
+    (fun acc e ->
+      match Event.response e with
+      | Some res when good res -> Proc.Set.add (Event.proc e) acc
+      | _ -> acc)
+    Proc.Set.empty fresh
+
+(* Evaluate every candidate cycle anchored at the current node: for
+   each period [p <= max_period], the suffix of the last [2p] ticks
+   whose per-tick cells are [p]-periodic (two full repetitions
+   observed).  A candidate is a fair cycle when every correct,
+   non-blocked process takes a grant on it; it violates [point] per
+   {!Freedom.violated_on_cycle}; and it is accepted only if its
+   certificate {e pumps}: replaying stem + cycle^reps through a fresh
+   instance reproduces the cells and boundary digest on every
+   repetition and the pumped window carries the standard bounded
+   violation.  Raises {!Found_lasso} with [st.found] set on the first
+   accepted candidate (shortest period first). *)
+let eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks ~blocked
+    cursor rev_script rev_cells rev_goods len =
+  if len >= 2 then begin
+    let view = Runner.Cursor.view cursor in
+    let correct =
+      Proc.Set.of_list
+        (List.filter
+           (fun p -> view.Driver.status p <> Runtime.Crashed)
+           (Proc.all ~n:view.Driver.n))
+    in
+    let pmax = min max_period (len / 2) in
+    let cells = Array.of_list (take (2 * pmax) rev_cells) in
+    let periodic p =
+      let ok = ref (Array.length cells >= 2 * p) in
+      for i = 0 to p - 1 do
+        if !ok && cells.(i) <> cells.(i + p) then ok := false
+      done;
+      !ok
+    in
+    for p = 1 to pmax do
+      if st.found = None && periodic p then begin
+        st.cycles <- st.cycles + 1;
+        let cycle_rev = take p rev_script in
+        let granted =
+          List.fold_left
+            (fun acc d ->
+              match d with
+              | Driver.Schedule q -> Proc.Set.add q acc
+              | _ -> acc)
+            Proc.Set.empty cycle_rev
+        in
+        let fair_cycle =
+          Proc.Set.subset (Proc.Set.diff correct blocked) granted
+        in
+        let progressed =
+          List.fold_left Proc.Set.union Proc.Set.empty (take p rev_goods)
+        in
+        if
+          fair_cycle
+          && Freedom.violated_on_cycle ~correct ~active:granted ~progressed
+               point
+        then begin
+          st.fair <- st.fair + 1;
+          let cert =
+            Lasso.cert_of_cursor
+              ~stem:(List.rev (drop p rev_script))
+              ~cycle:(List.rev cycle_rev)
+              ~cells:(List.rev (take p rev_cells))
+              cursor
+          in
+          let reps = max 2 ((pump_ticks + p - 1) / p) in
+          match
+            Lasso.pump ~factory:(factory ()) ~ticks:st.ticks ~repetitions:reps
+              cert
+          with
+          | Error _ -> ()
+          | Ok rep ->
+              let certified =
+                Proc.Set.subset (Fairness.starved rep) blocked
+                && (not (Freedom.holds ~good rep point))
+                && Option.is_some (Lasso.window_period rep)
+              in
+              if certified then begin
+                st.found <- Some cert;
+                raise Found_lasso
+              end
+        end
+      end
+    done
+  end
+
+let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
+    ?max_period ?pump_ticks ?(invoke_order = false) ?(cache = true)
+    ?cache_capacity () =
+  let max_period = Option.value max_period ~default:(max 1 (depth / 2)) in
+  let pump_ticks = Option.value pump_ticks ~default:(4 * depth) in
+  let st = new_state ?capacity:cache_capacity () in
+  let all_procs = Proc.all ~n in
+  (* The decision menu, in the same canonical order as {!Explore}:
+     step/invoke process 1..n, then (under the crash budget) crash
+     process 1..n — so the emitted certificate is the
+     lexicographically least in that order.  [invoke_order] is the one
+     reduction sound for cycle detection: when several idle processes
+     could be invoked, offer only the least one's invocation
+     (invocations commute with everything, and the normalization is
+     configuration-local, so it maps periodic runs to periodic runs —
+     unlike the safety engine's path-dependent sleep sets). *)
+  let menu view len crashes =
+    if len >= depth then []
+    else begin
+      let seen_invoke = ref false in
+      let steps =
+        List.concat_map
+          (fun p ->
+            match view.Driver.status p with
+            | Runtime.Ready -> [ Driver.Schedule p ]
+            | Runtime.Idle -> begin
+                match invoke view p with
+                | Some inv ->
+                    if invoke_order && !seen_invoke then begin
+                      st.invoke_pruned <- st.invoke_pruned + 1;
+                      []
+                    end
+                    else begin
+                      seen_invoke := true;
+                      [ Driver.Invoke (p, inv) ]
+                    end
+                | None -> []
+              end
+            | Runtime.Crashed -> [])
+          all_procs
+      in
+      let crash_branches =
+        if crashes < max_crashes then
+          List.filter_map
+            (fun p ->
+              if view.Driver.status p = Runtime.Crashed then None
+              else Some (Driver.Crash p))
+            all_procs
+        else []
+      in
+      steps @ crash_branches
+    end
+  in
+  let blocked_at view =
+    Proc.Set.of_list
+      (List.filter
+         (fun p ->
+           view.Driver.status p = Runtime.Idle
+           && Option.is_none (invoke view p))
+         all_procs)
+  in
+  let rec visit cursor rev_script rev_cells rev_goods len crashes =
+    st.nodes <- st.nodes + 1;
+    let key =
+      if cache then
+        Some
+          {
+            k_fp = Runner.Cursor.fingerprint cursor;
+            k_cells = take (2 * max_period) rev_cells;
+          }
+      else None
+    in
+    match Option.bind key (Clock_cache.find_opt st.table) with
+    | Some () -> st.hits <- st.hits + 1
+    | None ->
+        let view = Runner.Cursor.view cursor in
+        eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks
+          ~blocked:(blocked_at view) cursor rev_script rev_cells rev_goods len;
+        (match menu view len crashes with
+        | [] -> st.runs <- st.runs + 1
+        | decisions ->
+            let before = History.length view.Driver.history in
+            List.iteri
+              (fun i d ->
+                let crashes' =
+                  match d with Driver.Crash _ -> crashes + 1 | _ -> crashes
+                in
+                let child =
+                  if i = 0 then begin
+                    st.avoided <- st.avoided + 1;
+                    cursor
+                  end
+                  else begin
+                    let c =
+                      Runner.Cursor.replay ~n ~factory:(factory ())
+                        ~ticks:st.ticks (List.rev rev_script)
+                    in
+                    st.replayed <- st.replayed + len;
+                    c
+                  end
+                in
+                Runner.Cursor.apply child d;
+                let fresh =
+                  drop before
+                    (History.to_list
+                       (Runner.Cursor.view child).Driver.history)
+                in
+                visit child (d :: rev_script)
+                  (cell_of d fresh :: rev_cells)
+                  (goods_of ~good fresh :: rev_goods)
+                  (len + 1) crashes')
+              decisions);
+        Option.iter (fun k -> Clock_cache.replace st.table k ()) key
+  in
+  let root = Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks () in
+  let outcome =
+    match visit root [] [] [] 0 0 with
+    | () -> No_fair_cycle
+    | exception Found_lasso -> Lasso (Option.get st.found)
+  in
+  { outcome; stats = stats_of_state st }
+
+let certify_run ~n ~factory ~driver ~good ~point ~max_steps ?max_period
+    ?pump_ticks () =
+  let max_period = Option.value max_period ~default:(max 1 (max_steps / 4)) in
+  let pump_ticks = Option.value pump_ticks ~default:(max 64 (2 * max_period)) in
+  let st = new_state () in
+  let cursor = Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks () in
+  let rec go rev_script rev_cells rev_goods len =
+    if len >= max_steps then (rev_script, rev_cells, rev_goods, len)
+    else
+      let view = Runner.Cursor.view cursor in
+      match driver view with
+      | Driver.Stop -> (rev_script, rev_cells, rev_goods, len)
+      | d ->
+          let before = History.length view.Driver.history in
+          Runner.Cursor.apply cursor d;
+          let fresh =
+            drop before
+              (History.to_list (Runner.Cursor.view cursor).Driver.history)
+          in
+          go (d :: rev_script)
+            (cell_of d fresh :: rev_cells)
+            (goods_of ~good fresh :: rev_goods)
+            (len + 1)
+  in
+  let rev_script, rev_cells, rev_goods, len = go [] [] [] 0 in
+  st.nodes <- len;
+  st.runs <- 1;
+  let outcome =
+    match
+      eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks
+        ~blocked:Proc.Set.empty cursor rev_script rev_cells rev_goods len
+    with
+    | () -> No_fair_cycle
+    | exception Found_lasso -> Lasso (Option.get st.found)
+  in
+  { outcome; stats = stats_of_state st }

@@ -1,0 +1,134 @@
+(** Liveness model checking: exhaustive search for fair,
+    progress-free cycles (lassos) in the bounded configuration graph.
+
+    The paper's negative results (Theorems 5.2/5.3) assert that an
+    adversary can drive an implementation into an infinite {e fair} run
+    with no progress.  The adversary games sample such runs; this
+    module {e searches} for them: it walks the same bounded decision
+    tree as {!Explore} (nodes are {!Slx_sim.Runner.Cursor}
+    configurations, edges scheduler decisions) looking for a reachable
+    cycle that is
+
+    - {b fair} — every non-crashed process that is not {e blocked}
+      (idle with no further work from [invoke]) takes a scheduling
+      grant on the cycle, the finitization contract of doc/model.md §2;
+    - {b progress-free} — pumping the cycle forever violates the
+      pluggable (l,k)-freedom predicate
+      ({!Slx_liveness.Freedom.violated_on_cycle}): the processes
+      granted on the cycle are the ones taking infinitely many steps,
+      and the [good] responses on the cycle are the ones delivered
+      infinitely often.
+
+    {b The cycle quotient.}  Raw configurations never recur along a
+    run — time, histories and step counts grow monotonically, and
+    implementations allocate fresh base objects (the register
+    consensus allocates per-round registers) — so cycles are detected
+    in the abstract-trace quotient of {!Slx_liveness.Lasso}: a node
+    closes a candidate cycle of period [p] when the per-tick cells
+    ({!Slx_liveness.Lasso.tick_cells}: grant skeleton + event
+    skeletons) of its last [2p] ticks are [p]-periodic, i.e. two full
+    repetitions are observed, exactly the existing lasso-certificate
+    criterion.  A candidate only becomes a verdict after {e
+    certificate validation}: the stem + cycle scripts are replayed
+    through a fresh instance with the cycle pumped until at least
+    [pump_ticks] extra ticks are covered
+    ({!Slx_liveness.Lasso.pump}), which must reproduce the cells and
+    the boundary configuration digest on every repetition and yield a
+    report satisfying the standard bounded violation
+    ({!Slx_liveness.Lasso.certified_violation}).  Pumping is what
+    rejects the spurious periodic suffixes of runs that merely {e
+    pass through} a repetitive phase before responding (e.g. a solo
+    register-consensus process mid-round, which decides within a
+    bounded number of further grants); see doc/model.md §7 for the
+    soundness argument and its honest limits.
+
+    The walk is depth-first in the canonical menu order of {!Explore},
+    so the emitted certificate is deterministic: the lex-least
+    stem+cycle script among the validated candidates, independent of
+    caching.  The transposition cache is keyed on the configuration
+    fingerprint {e plus} the last [2 * max_period] abstract cells —
+    the context that determines every candidate in a subtree — and
+    stores only completed lasso-free subtrees, so hits can never mask
+    the least witness.  The safety engine's sleep-set POR is {e
+    unsound} here (sleep sets are path-dependent; pruning by them can
+    drop every representative of a periodic run — the classic
+    "ignoring problem"); the one reduction offered is
+    [invoke_order]. *)
+
+open Slx_history
+open Slx_sim
+open Slx_liveness
+
+type ('inv, 'res) outcome =
+  | Lasso of ('inv, 'res) Lasso.cert
+      (** A fair, progress-free, pump-validated cycle was found; the
+          certificate replays through {!Slx_liveness.Lasso.pump}. *)
+  | No_fair_cycle
+      (** No candidate survived validation anywhere in the bounded
+          tree: every fair cycle of the instance (within [depth],
+          [max_period], the crash budget) makes progress. *)
+
+type ('inv, 'res) result = {
+  outcome : ('inv, 'res) outcome;
+  stats : Explore_stats.t;
+      (** Work counters.  [cycles_examined]/[fair_cycles] count the
+          periodic candidates and the fair violating ones;
+          [por_sleeps] counts invocations pruned by [invoke_order];
+          pump replays are included in [steps_executed]. *)
+}
+
+val search :
+  n:int ->
+  factory:(unit -> ('inv, 'res) Runner.factory) ->
+  invoke:(('inv, 'res) Driver.view -> Proc.t -> 'inv option) ->
+  good:('res -> bool) ->
+  point:Freedom.t ->
+  depth:int ->
+  ?max_crashes:int ->
+  ?max_period:int ->
+  ?pump_ticks:int ->
+  ?invoke_order:bool ->
+  ?cache:bool ->
+  ?cache_capacity:int ->
+  unit ->
+  ('inv, 'res) result
+(** [search ~n ~factory ~invoke ~good ~point ~depth ()] explores every
+    decision sequence of at most [depth] ticks (menu and parameters as
+    in {!Explore.explore}; [max_crashes] defaults to 0 — pass at least
+    [n - 1] to give obstruction-style points their solo windows) and
+    returns the first validated fair progress-free lasso, or
+    [No_fair_cycle] after exhausting the tree.
+
+    [max_period] (default [depth / 2]) bounds the candidate cycle
+    length in ticks.  [pump_ticks] (default [4 * depth]) is the
+    validation budget: every candidate's cycle is pumped until at
+    least that many extra ticks are covered before it is believed —
+    it must exceed the implementation's longest good-response latency
+    or a pre-response phase can masquerade as a cycle.  [invoke_order]
+    (default [false]) prunes all but the least idle process's
+    invocation at each node (sound for cycles, see module doc);
+    [cache]/[cache_capacity] control the suffix-keyed transposition
+    cache. *)
+
+val certify_run :
+  n:int ->
+  factory:(unit -> ('inv, 'res) Runner.factory) ->
+  driver:('inv, 'res) Driver.t ->
+  good:('res -> bool) ->
+  point:Freedom.t ->
+  max_steps:int ->
+  ?max_period:int ->
+  ?pump_ticks:int ->
+  unit ->
+  ('inv, 'res) result
+(** Cross-validation bridge for instances too deep to search
+    exhaustively (a TM transaction cycle spans tens of ticks): play a
+    single driver — typically one of the paper's adversaries — for
+    [max_steps] ticks, then run the {e same} candidate detection and
+    certificate validation on the recorded run's trace suffix.
+    [Lasso cert] means the adversary's sampled win has been promoted
+    to a replayable, pumpable certificate of the same form the
+    exhaustive search emits (with blocked processes conservatively
+    assumed absent: every correct process must be granted on the
+    cycle).  Defaults: [max_period = max_steps / 4],
+    [pump_ticks = max 64 (2 * max_period)]. *)

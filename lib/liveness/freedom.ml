@@ -40,6 +40,17 @@ let explain ~good r t =
 let holds ~good r t =
   match explain ~good r t with `Holds | `Vacuous -> true | `Violated _ -> false
 
+let violated_on_cycle ~correct ~active ~progressed t =
+  Proc.Set.cardinal active <= t.k
+  &&
+  let progressing = Proc.Set.inter progressed correct in
+  let ok =
+    if Proc.Set.cardinal correct >= t.l then
+      Proc.Set.cardinal progressing >= t.l
+    else Proc.Set.equal progressing correct
+  in
+  not ok
+
 let stronger_equal a b = a.l >= b.l && a.k >= b.k
 
 let comparable a b = stronger_equal a b || stronger_equal b a

@@ -73,6 +73,23 @@ val explain :
       (** The correct processes that failed to make progress. *) ]
 (** Like {!holds} but with a verdict explaining why. *)
 
+val violated_on_cycle :
+  correct:Slx_history.Proc.Set.t ->
+  active:Slx_history.Proc.Set.t ->
+  progressed:Slx_history.Proc.Set.t ->
+  t ->
+  bool
+(** Definition 5.1 evaluated directly on a cycle of the configuration
+    graph, for the fair-cycle search ({!Slx_core.Live_explore}): an
+    infinite run that pumps the cycle has [active] = the processes
+    granted steps on the cycle (they take infinitely many steps, all
+    others take finitely many), [correct] = the non-crashed processes,
+    and [progressed] = the processes receiving a [good] response on the
+    cycle (each repetition delivers another one).  [true] iff such a
+    run violates the (l,k) point: the gate [|active| <= k] is on and
+    the progress clause of Definition 5.1 fails for
+    [progressed ∩ correct]. *)
+
 (** {1 The strength order (Figure 1)} *)
 
 val stronger_equal : t -> t -> bool

@@ -22,11 +22,11 @@ let skeleton e =
   | Event.Response (p, _) -> Printf.sprintf "p%d:res" p
   | Event.Crash p -> Printf.sprintf "p%d:crash" p
 
-let window_period ?(abstract = skeleton) r =
-  (* The observable activity per window tick: the scheduling grant (if
-     any) followed by the external events recorded at that tick.  Runs
-     whose liveness violation shows up as pure silence (no events) are
-     still periodic in their grants. *)
+let tick_cells ?(abstract = skeleton) r =
+  (* The observable activity per tick, in tick order: the scheduling
+     grant (if any) followed by the external events recorded at that
+     tick.  Runs whose liveness violation shows up as pure silence (no
+     events) are still periodic in their grants. *)
   let events = History.to_list r.Run_report.history in
   let events_at = Hashtbl.create 64 in
   List.iteri
@@ -45,15 +45,94 @@ let window_period ?(abstract = skeleton) r =
     in
     grant @ List.rev (Option.value (Hashtbl.find_opt events_at t) ~default:[])
   in
-  let trace =
-    List.concat_map tick
-      (List.init
-         (r.Run_report.total_time - Run_report.window_start r)
-         (fun i -> Run_report.window_start r + i))
-  in
+  List.init r.Run_report.total_time tick
+
+let window_period ?abstract r =
+  let cells = tick_cells ?abstract r in
+  let ws = Run_report.window_start r in
+  let trace = List.concat (List.filteri (fun t _ -> t >= ws) cells) in
   trace_period ~equal:String.equal trace
 
 let certified_violation ~good r point =
   Fairness.is_bounded_fair r
   && (not (Freedom.holds ~good r point))
   && Option.is_some (window_period r)
+
+(* ------------------------------------------------------------------ *)
+(* Replayable stem + cycle certificates.                               *)
+
+type ('inv, 'res) cert = {
+  c_n : int;
+  c_stem : ('inv, 'res) Driver.decision list;
+  c_cycle : ('inv, 'res) Driver.decision list;
+  c_cells : string list list;
+  c_digest : int;
+}
+
+let status_code = function
+  | Runtime.Idle -> 0
+  | Runtime.Ready -> 1
+  | Runtime.Crashed -> 2
+
+let boundary_digest cursor cells =
+  let view = Runner.Cursor.view cursor in
+  let statuses =
+    List.map
+      (fun p -> status_code (view.Driver.status p))
+      (Proc.all ~n:view.Driver.n)
+  in
+  Hashtbl.hash (cells, statuses)
+
+let cert_of_cursor ~stem ~cycle ~cells cursor =
+  if cycle = [] then invalid_arg "Lasso.cert_of_cursor: empty cycle";
+  if List.length cells <> List.length cycle then
+    invalid_arg "Lasso.cert_of_cursor: one cell list per cycle tick";
+  {
+    c_n = (Runner.Cursor.view cursor).Driver.n;
+    c_stem = stem;
+    c_cycle = cycle;
+    c_cells = cells;
+    c_digest = boundary_digest cursor cells;
+  }
+
+exception Pump_failed of string
+
+let pump ~factory ?ticks ?(repetitions = 2) ?abstract cert =
+  let period = List.length cert.c_cycle in
+  if period = 0 then Error "Lasso.pump: empty cycle"
+  else if repetitions < 2 then Error "Lasso.pump: need at least 2 repetitions"
+  else
+    try
+      let cursor = Runner.Cursor.create ~n:cert.c_n ~factory ?ticks () in
+      let apply d =
+        try Runner.Cursor.apply cursor d
+        with Invalid_argument msg ->
+          raise (Pump_failed ("decision not applicable: " ^ msg))
+      in
+      List.iter apply cert.c_stem;
+      let stem_len = List.length cert.c_stem in
+      for rep = 1 to repetitions do
+        List.iter apply cert.c_cycle;
+        if boundary_digest cursor cert.c_cells <> cert.c_digest then
+          raise
+            (Pump_failed
+               (Printf.sprintf
+                  "configuration digest diverged on repetition %d" rep))
+      done;
+      (* One trace computation for the whole pumped run, then compare
+         each repetition's slice — the per-repetition digest check above
+         already localizes a diverging configuration. *)
+      let r = Runner.Cursor.report cursor ~window:(repetitions * period) () in
+      let cells = Array.of_list (tick_cells ?abstract r) in
+      let expected = Array.of_list cert.c_cells in
+      for rep = 1 to repetitions do
+        let base = stem_len + ((rep - 1) * period) in
+        for i = 0 to period - 1 do
+          if cells.(base + i) <> expected.(i) then
+            raise
+              (Pump_failed
+                 (Printf.sprintf "trace diverged on repetition %d" rep))
+        done
+      done;
+      Ok r
+    with Pump_failed msg -> Error msg

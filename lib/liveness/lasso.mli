@@ -31,6 +31,18 @@ val skeleton :
     Coarse but sufficient for the adversaries here; callers needing a
     finer abstraction can pass their own to {!window_period}. *)
 
+val tick_cells :
+  ?abstract:(('inv, 'res) Slx_history.Event.t -> string) ->
+  ('inv, 'res) Run_report.t ->
+  string list list
+(** The abstracted trace, one cell list per tick [0 .. total_time - 1]:
+    the tick's scheduling grant (as ["pN:step"]), if any, followed by
+    the events recorded at that tick under the abstraction (default
+    {!skeleton}).  This is the quotient in which cycles of the
+    configuration graph are detected: raw configurations never recur on
+    a run (time, histories and step counts grow monotonically), but a
+    run that pumps a scheduling cycle repeats its per-tick cells. *)
+
 val window_period :
   ?abstract:(('inv, 'res) Slx_history.Event.t -> string) ->
   ('inv, 'res) Run_report.t ->
@@ -46,3 +58,60 @@ val certified_violation :
   bool
 (** The full bounded claim: the run is bounded-fair, violates the
     (l,k)-freedom point, {e and} carries a lasso certificate. *)
+
+(** {1 Replayable stem + cycle certificates}
+
+    The fair-cycle search ({!Slx_core.Live_explore}) emits its witness
+    in this form: a decision script that reaches the cycle (the {e
+    stem}) and the cycle's decision script itself, together with the
+    expected per-tick cells of one cycle repetition and a digest of the
+    boundary configuration (cells + per-process status codes).  The
+    certificate is {e pumpable}: replaying stem + cycle^m through a
+    fresh cursor must reproduce the same cells and boundary digest on
+    every repetition, for any [m] — the machine-checked evidence that
+    the cycle extends to an infinite run. *)
+
+type ('inv, 'res) cert = {
+  c_n : int;  (** System size the scripts were recorded against. *)
+  c_stem : ('inv, 'res) Slx_sim.Driver.decision list;
+      (** Reaches the cycle's entry configuration from the initial one. *)
+  c_cycle : ('inv, 'res) Slx_sim.Driver.decision list;
+      (** One cycle repetition; non-empty. *)
+  c_cells : string list list;
+      (** Expected {!tick_cells} of one repetition (one list per tick). *)
+  c_digest : int;
+      (** Digest of the abstract configuration at the repetition
+          boundary: the repetition's cells plus every process's status
+          code.  Pumping asserts it recurs after each repetition —
+          "the configuration fingerprint repeats" in the quotient that
+          {e can} recur (raw fingerprints grow monotonically). *)
+}
+
+val cert_of_cursor :
+  stem:('inv, 'res) Slx_sim.Driver.decision list ->
+  cycle:('inv, 'res) Slx_sim.Driver.decision list ->
+  cells:string list list ->
+  ('inv, 'res) Runner.Cursor.t ->
+  ('inv, 'res) cert
+(** Build a certificate from a cursor standing at a repetition boundary
+    (i.e. [stem @ cycle^k] has just been applied to it, for some
+    [k >= 1]).  @raise Invalid_argument if [cycle] is empty or [cells]
+    does not have one cell list per cycle tick. *)
+
+val pump :
+  factory:('inv, 'res) Runner.factory ->
+  ?ticks:int ref ->
+  ?repetitions:int ->
+  ?abstract:(('inv, 'res) Slx_history.Event.t -> string) ->
+  ('inv, 'res) cert ->
+  (('inv, 'res) Run_report.t, string) result
+(** [pump ~factory cert] replays [cert.c_stem] and then [repetitions]
+    (default 2, minimum 2) copies of [cert.c_cycle] through a fresh
+    cursor, checking after {e every} repetition that the repetition's
+    {!tick_cells} equal [cert.c_cells] and that the boundary digest
+    equals [cert.c_digest].  [Ok report] has its window set to exactly
+    the pumped repetitions, so {!certified_violation} on it evaluates
+    fairness, the freedom point and the window period over the cycle
+    ticks alone.  [Error reason] reports the first inapplicable
+    decision or diverging repetition — the certificate does not extend
+    to an infinite run by verbatim repetition. *)

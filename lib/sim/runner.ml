@@ -87,6 +87,11 @@ module Cursor = struct
         c.time <- c.time + 1;
         incr c.ticks)
 
+  let replay ~n ~factory ?ticks decisions =
+    let c = create ~n ~factory ?ticks () in
+    List.iter (apply c) decisions;
+    c
+
   let report c ?window ?(stopped = `Max_steps) () =
     let window = Option.value window ~default:(max 1 (c.time / 2)) in
     {

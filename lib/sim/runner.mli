@@ -73,6 +73,19 @@ module Cursor : sig
       are validated exactly as in {!run}; applying [Driver.Stop] raises
       [Invalid_argument]. *)
 
+  val replay :
+    n:int ->
+    factory:('inv, 'res) factory ->
+    ?ticks:int ref ->
+    ('inv, 'res) Driver.decision list ->
+    ('inv, 'res) t
+  (** [replay ~n ~factory decisions] creates a fresh cursor and applies
+      [decisions] in order — the cycle-replay primitive: since cursors
+      cannot be forked, a configuration is re-established (and a lasso
+      certificate pumped, see {!Slx_liveness.Lasso}) by replaying its
+      decision script.  Raises [Invalid_argument] as {!apply} does if a
+      decision is not applicable at its step. *)
+
   val report :
     ('inv, 'res) t ->
     ?window:int ->

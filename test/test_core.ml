@@ -594,6 +594,73 @@ let test_explore_with_crashes () =
   | Explore.Counterexample _ ->
       Alcotest.fail "CAS consensus must survive single crashes too"
 
+(* ------------------------------------------------------------------ *)
+(* The clock (second-chance) cache store.                              *)
+
+let test_clock_cache_capacity_zero () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Clock_cache.create: capacity < 1") (fun () ->
+      ignore (Clock_cache.create ~capacity:0 ()));
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Clock_cache.create: capacity < 1") (fun () ->
+      ignore (Clock_cache.create ~capacity:(-3) ()))
+
+let test_clock_cache_capacity_one () =
+  let c = Clock_cache.create ~capacity:1 () in
+  Clock_cache.replace c "a" 1;
+  check_int "one entry" 1 (Clock_cache.length c);
+  check_bool "a present" true (Clock_cache.find_opt c "a" = Some 1);
+  (* Even a referenced sole entry is evicted: the sweep clears its bit
+     on the first pass and takes it on the second. *)
+  Clock_cache.replace c "b" 2;
+  check_int "still one entry" 1 (Clock_cache.length c);
+  check_bool "a evicted" true (Clock_cache.find_opt c "a" = None);
+  check_bool "b present" true (Clock_cache.find_opt c "b" = Some 2);
+  check_int "one eviction" 1 (Clock_cache.evictions c);
+  (* Updating the resident key is not an eviction. *)
+  Clock_cache.replace c "b" 3;
+  check_bool "b updated in place" true (Clock_cache.find_opt c "b" = Some 3);
+  check_int "no further eviction" 1 (Clock_cache.evictions c)
+
+let test_clock_cache_second_chance_order () =
+  let c = Clock_cache.create ~capacity:3 () in
+  Clock_cache.replace c "a" 1;
+  Clock_cache.replace c "b" 2;
+  Clock_cache.replace c "c" 3;
+  (* Reference a: the hand (at slot 0) must clear a's bit, pass it
+     over, and evict b — the first unreferenced entry in ring order. *)
+  ignore (Clock_cache.find_opt c "a");
+  Clock_cache.replace c "d" 4;
+  check_bool "b evicted first" true (Clock_cache.find_opt c "b" = None);
+  check_bool "a survived its second chance" true
+    (Clock_cache.find_opt c "a" = Some 1);
+  check_bool "c retained" true (Clock_cache.find_opt c "c" = Some 3);
+  check_bool "d inserted" true (Clock_cache.find_opt c "d" = Some 4);
+  (* The hand now stands past b's old slot; c's bit was just set by the
+     lookup above, a's and d's too — all referenced, so the next
+     insertion sweeps a full circle clearing bits and evicts the first
+     entry it re-reaches: c (slot 2, where the hand stopped). *)
+  Clock_cache.replace c "e" 5;
+  check_bool "c evicted on the full sweep" true
+    (Clock_cache.find_opt c "c" = None);
+  check_bool "a still present" true (Clock_cache.find_opt c "a" = Some 1);
+  check_int "two evictions total" 2 (Clock_cache.evictions c)
+
+let test_clock_cache_eviction_counter () =
+  let c = Clock_cache.create ~capacity:2 () in
+  for i = 1 to 10 do
+    Clock_cache.replace c i i
+  done;
+  check_int "over-capacity insertions each evict" 8 (Clock_cache.evictions c);
+  check_int "length stays at capacity" 2 (Clock_cache.length c);
+  let unbounded = Clock_cache.create () in
+  for i = 1 to 100 do
+    Clock_cache.replace unbounded i i
+  done;
+  check_int "unbounded cache never evicts" 0 (Clock_cache.evictions unbounded);
+  check_int "unbounded cache keeps everything" 100
+    (Clock_cache.length unbounded)
+
 let suites =
   [
     ( "core-exclusion",
@@ -630,6 +697,13 @@ let suites =
         quick "stats sanity" test_explore_stats_sanity;
         quick "reduction + eviction stats" test_explore_reduction_stats;
         quick "parallel matches sequential" test_explore_parallel_matches_sequential;
+      ] );
+    ( "core-clock-cache",
+      [
+        quick "capacity 0 rejected" test_clock_cache_capacity_zero;
+        quick "capacity 1" test_clock_cache_capacity_one;
+        quick "second-chance eviction order" test_clock_cache_second_chance_order;
+        quick "eviction counter" test_clock_cache_eviction_counter;
       ] );
     ( "core-figure1",
       [

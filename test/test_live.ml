@@ -1,0 +1,302 @@
+(* The fair-cycle search (Live_explore): Theorem 5.2's split found by
+   exhaustive search, certificate pumping, and the cross-validation
+   against the adversary-game classification. *)
+
+open Slx_sim
+open Slx_liveness
+open Slx_core
+open Support
+
+let good (_ : Slx_consensus.Consensus_type.response) = true
+
+let invoke =
+  Explore.workload_invoke
+    (Driver.forever (fun p -> Slx_consensus.Consensus_type.Propose (p - 1)))
+
+let reg_factory ?(depth = 10) () =
+  Slx_consensus.Register_consensus.factory ~max_rounds:(max 8 depth) ()
+
+let search_register ?(depth = 10) ?(max_crashes = 0) point =
+  Live_explore.search ~n:2
+    ~factory:(fun () -> reg_factory ~depth ())
+    ~invoke ~good ~point ~depth ~max_crashes ()
+
+let search_cas ?(depth = 9) ?(max_crashes = 1) point =
+  Live_explore.search ~n:2
+    ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+    ~invoke ~good ~point ~depth ~max_crashes ()
+
+let lasso_exn name r =
+  match r.Live_explore.outcome with
+  | Live_explore.Lasso c -> c
+  | Live_explore.No_fair_cycle -> Alcotest.failf "%s: expected a lasso" name
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance split (Theorem 5.2 at n = 2).                        *)
+
+let test_register_lasso_for_1_2 () =
+  let r = search_register ~depth:8 (Freedom.make ~l:1 ~k:2) in
+  let c = lasso_exn "register (1,2)" r in
+  check_bool "cycle is non-empty" true (c.Lasso.c_cycle <> []);
+  check_bool "some candidate cycles were examined" true
+    (r.Live_explore.stats.Explore_stats.cycles_examined > 0);
+  check_bool "a fair violating candidate was found" true
+    (r.Live_explore.stats.Explore_stats.fair_cycles >= 1);
+  (* The emitted certificate replays and pumps through a fresh
+     instance. *)
+  match Lasso.pump ~factory:(reg_factory ()) ~repetitions:4 c with
+  | Error e -> Alcotest.failf "pump failed: %s" e
+  | Ok rep ->
+      check_bool "pumped report carries the bounded violation" true
+        (Lasso.certified_violation ~good rep (Freedom.make ~l:1 ~k:2))
+
+let test_register_no_lasso_for_1_1 () =
+  (* Under solo windows (one crash allowed) the register consensus is
+     obstruction-free: the search must exhaust the tree and find
+     nothing — the positive half of the Theorem 5.2 split. *)
+  let r = search_register ~depth:9 ~max_crashes:1 Freedom.obstruction_freedom in
+  (match r.Live_explore.outcome with
+  | Live_explore.No_fair_cycle -> ()
+  | Live_explore.Lasso _ ->
+      Alcotest.fail "register consensus is obstruction-free");
+  check_bool "candidates were examined and rejected" true
+    (r.Live_explore.stats.Explore_stats.cycles_examined > 0)
+
+let test_register_lasso_for_2_2 () =
+  let r = search_register ~depth:9 ~max_crashes:1 (Freedom.make ~l:2 ~k:2) in
+  ignore (lasso_exn "register (2,2)" r)
+
+let test_cas_no_lasso_anywhere () =
+  (* CAS consensus is wait-free: no point of the grid is excluded. *)
+  List.iter
+    (fun point ->
+      match (search_cas point).Live_explore.outcome with
+      | Live_explore.No_fair_cycle -> ()
+      | Live_explore.Lasso _ ->
+          Alcotest.failf "CAS consensus: unexpected lasso for %s"
+            (Format.asprintf "%a" Freedom.pp point))
+    (Freedom.all ~n:2)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and engine configurations.                              *)
+
+let test_witness_deterministic_across_configs () =
+  let point = Freedom.make ~l:1 ~k:2 in
+  let base = lasso_exn "base" (search_register ~depth:8 point) in
+  let again = lasso_exn "again" (search_register ~depth:8 point) in
+  let no_cache =
+    lasso_exn "no cache"
+      (Live_explore.search ~n:2
+         ~factory:(fun () -> reg_factory ())
+         ~invoke ~good ~point ~depth:8 ~cache:false ())
+  in
+  check_bool "same stem on a re-run" true (base.Lasso.c_stem = again.Lasso.c_stem);
+  check_bool "same cycle on a re-run" true
+    (base.Lasso.c_cycle = again.Lasso.c_cycle);
+  check_bool "cache does not change the witness" true
+    (base.Lasso.c_stem = no_cache.Lasso.c_stem
+    && base.Lasso.c_cycle = no_cache.Lasso.c_cycle)
+
+let test_invoke_order_reduction_sound () =
+  let point = Freedom.make ~l:1 ~k:2 in
+  let full = search_register ~depth:8 point in
+  let reduced =
+    Live_explore.search ~n:2
+      ~factory:(fun () -> reg_factory ())
+      ~invoke ~good ~point ~depth:8 ~invoke_order:true ()
+  in
+  let c = lasso_exn "reduced" reduced in
+  check_bool "reduction preserves the verdict" true
+    (match full.Live_explore.outcome with
+    | Live_explore.Lasso _ -> true
+    | Live_explore.No_fair_cycle -> false);
+  check_bool "reduced witness still pumps" true
+    (match Lasso.pump ~factory:(reg_factory ()) c with
+    | Ok _ -> true
+    | Error _ -> false);
+  check_bool "fewer or equal nodes with the reduction" true
+    (reduced.Live_explore.stats.Explore_stats.nodes
+    <= full.Live_explore.stats.Explore_stats.nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Certificate mechanics.                                              *)
+
+let test_cert_digest_repeats_exactly () =
+  (* The satellite check, stated directly: replay the certificate's
+     cycle twice more through a fresh cursor and the boundary
+     configuration digest (the fingerprint of the quotient that can
+     recur) repeats exactly. *)
+  let c = lasso_exn "cert" (search_register ~depth:8 (Freedom.make ~l:1 ~k:2)) in
+  let cur =
+    Runner.Cursor.replay ~n:2 ~factory:(reg_factory ())
+      (c.Lasso.c_stem @ c.Lasso.c_cycle)
+  in
+  let boundary cur =
+    (Lasso.cert_of_cursor ~stem:c.Lasso.c_stem ~cycle:c.Lasso.c_cycle
+       ~cells:c.Lasso.c_cells cur)
+      .Lasso.c_digest
+  in
+  check_int "digest at the first boundary" c.Lasso.c_digest (boundary cur);
+  List.iter (Runner.Cursor.apply cur) c.Lasso.c_cycle;
+  check_int "digest after one more repetition" c.Lasso.c_digest (boundary cur);
+  List.iter (Runner.Cursor.apply cur) c.Lasso.c_cycle;
+  check_int "digest after two more repetitions" c.Lasso.c_digest (boundary cur)
+
+let test_pump_rejects_wrong_instance () =
+  (* A certificate recorded against the register consensus does not
+     validate against a different implementation. *)
+  let c = lasso_exn "cert" (search_register ~depth:8 (Freedom.make ~l:1 ~k:2)) in
+  match
+    Lasso.pump ~factory:(Slx_consensus.Cas_consensus.factory ()) c
+  with
+  | Ok _ -> Alcotest.fail "pump should reject a CAS replay"
+  | Error _ -> ()
+
+let test_pump_argument_errors () =
+  let c = lasso_exn "cert" (search_register ~depth:8 (Freedom.make ~l:1 ~k:2)) in
+  (match Lasso.pump ~factory:(reg_factory ()) ~repetitions:1 c with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "repetitions < 2 must be rejected");
+  Alcotest.check_raises "empty cycle rejected"
+    (Invalid_argument "Lasso.cert_of_cursor: empty cycle") (fun () ->
+      let cur = Runner.Cursor.create ~n:2 ~factory:(reg_factory ()) () in
+      ignore (Lasso.cert_of_cursor ~stem:[] ~cycle:[] ~cells:[] cur));
+  Alcotest.check_raises "cells arity checked"
+    (Invalid_argument "Lasso.cert_of_cursor: one cell list per cycle tick")
+    (fun () ->
+      let cur = Runner.Cursor.create ~n:2 ~factory:(reg_factory ()) () in
+      ignore
+        (Lasso.cert_of_cursor ~stem:[]
+           ~cycle:[ Driver.Schedule 1 ]
+           ~cells:[] cur))
+
+let prop_lasso_pumps =
+  (* The QCheck satellite: over small depth/point/pump-length choices,
+     the emitted certificate pumps — every repetition reproduces the
+     abstract cells and the boundary digest — and the pumped window
+     still carries the bounded violation. *)
+  QCheck2.Test.make ~name:"emitted lasso certificates pump" ~count:12
+    QCheck2.Gen.(
+      triple (int_range 8 9) (oneofl [ (1, 2); (2, 2) ]) (int_range 2 6))
+    (fun (depth, (l, k), repetitions) ->
+      let point = Freedom.make ~l ~k in
+      match (search_register ~depth point).Live_explore.outcome with
+      | Live_explore.No_fair_cycle -> false
+      | Live_explore.Lasso c -> (
+          match
+            Lasso.pump ~factory:(reg_factory ~depth ()) ~repetitions c
+          with
+          | Error _ -> false
+          | Ok rep -> Lasso.certified_violation ~good rep point))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation: exhaustive search vs adversary games.             *)
+
+let test_exhaustive_grid_matches_games () =
+  let exhaustive = Figure1.consensus_exhaustive ~n:2 ~depth:10 () in
+  let games = Figure1.consensus ~n:2 ~max_steps:1200 () in
+  List.iter
+    (fun (point, color) ->
+      let l = Freedom.l point and k = Freedom.k point in
+      match Figure1.color_at games ~l ~k with
+      | None -> Alcotest.failf "game grid misses (%d,%d)" l k
+      | Some game_color ->
+          check_bool
+            (Printf.sprintf "grids agree at (%d,%d)" l k)
+            true
+            (color = game_color))
+    exhaustive.Figure1.cells;
+  (* And the shape is Theorem 5.2's: white exactly at (1,1). *)
+  check_bool "white at (1,1)" true
+    (Figure1.color_at exhaustive ~l:1 ~k:1 = Some Figure1.Not_excluded);
+  check_bool "black at (1,2)" true
+    (Figure1.color_at exhaustive ~l:1 ~k:2 = Some Figure1.Excluded);
+  check_bool "black at (2,2)" true
+    (Figure1.color_at exhaustive ~l:2 ~k:2 = Some Figure1.Excluded)
+
+let test_certify_run_i12_local_progress () =
+  (* The I12 leg of E20: the Section 4.1 adversary's sampled win is
+     promoted to a pumpable lasso certificate by the same candidate
+     detection the exhaustive search uses. *)
+  let open Slx_tm in
+  let r =
+    Live_explore.certify_run ~n:2
+      ~factory:(fun () -> I12.factory ~vars:1)
+      ~driver:(Tm_adversary.local_progress_adversary ())
+      ~good:Tm_type.good
+      ~point:(Freedom.wait_freedom ~n:2)
+      ~max_steps:400 ()
+  in
+  match r.Live_explore.outcome with
+  | Live_explore.No_fair_cycle ->
+      Alcotest.fail "local-progress adversary run should certify"
+  | Live_explore.Lasso c ->
+      check_bool "non-trivial period" true (List.length c.Lasso.c_cycle >= 2);
+      check_bool "certificate re-pumps" true
+        (match
+           Lasso.pump ~factory:(I12.factory ~vars:1) ~repetitions:3 c
+         with
+        | Ok _ -> true
+        | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* JSON surfaces.                                                      *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_grid_json () =
+  let j = Figure1.to_json (Figure1.consensus_exhaustive ~n:2 ~depth:8 ()) in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "grid JSON contains %s" needle) true
+        (contains j needle))
+    [
+      "\"n\": 2";
+      "\"cells\": [";
+      "{\"l\": 1, \"k\": 1, \"color\": \"not_excluded\"}";
+      "{\"l\": 1, \"k\": 2, \"color\": \"excluded\"}";
+    ]
+
+let test_stats_json_has_cycle_counters () =
+  let r = search_register ~depth:8 (Freedom.make ~l:1 ~k:2) in
+  let j = Explore_stats.to_json r.Live_explore.stats in
+  check_bool "cycles_examined serialized" true (contains j "\"cycles_examined\"");
+  check_bool "fair_cycles serialized" true (contains j "\"fair_cycles\"");
+  let m = Explore_stats.merge r.Live_explore.stats r.Live_explore.stats in
+  check_int "merge sums cycle counters"
+    (2 * r.Live_explore.stats.Explore_stats.cycles_examined)
+    m.Explore_stats.cycles_examined
+
+let suites =
+  [
+    ( "live-explore: fair-cycle search",
+      [
+        quick "register: (1,2) lasso at depth 8" test_register_lasso_for_1_2;
+        quick "register: no (1,1) lasso under solo windows"
+          test_register_no_lasso_for_1_1;
+        quick "register: (2,2) lasso" test_register_lasso_for_2_2;
+        quick "CAS: no lasso anywhere" test_cas_no_lasso_anywhere;
+        quick "witness deterministic across configs"
+          test_witness_deterministic_across_configs;
+        quick "invoke-order reduction sound" test_invoke_order_reduction_sound;
+      ] );
+    ( "live-explore: certificates",
+      [
+        quick "boundary digest repeats exactly" test_cert_digest_repeats_exactly;
+        quick "pump rejects the wrong instance" test_pump_rejects_wrong_instance;
+        quick "pump argument errors" test_pump_argument_errors;
+      ]
+      @ qcheck [ prop_lasso_pumps ] );
+    ( "live-explore: cross-validation (E20)",
+      [
+        quick "exhaustive grid matches adversary games"
+          test_exhaustive_grid_matches_games;
+        quick "I12 local-progress run certifies"
+          test_certify_run_i12_local_progress;
+        quick "grid JSON" test_grid_json;
+        quick "stats JSON cycle counters" test_stats_json_has_cycle_counters;
+      ] );
+  ]
