@@ -123,6 +123,177 @@ let live_smoke () =
       o12 o11;
   ok
 
+(* Observability smoke: one traced fair-cycle search and one traced
+   2-domain exploration, exported to Chrome trace-event JSON, re-parsed
+   with the validator, and reconciled event-by-event against the stats
+   of the run that produced them — plus the tracing-overhead row of
+   BENCH_explore.json (the disabled sink must stay within noise; the
+   ring sink within a few percent).  The trace of the live case is kept
+   at [$SLX_SMOKE_TRACE] when that is set, so CI can upload it as an
+   artifact. *)
+module Obs = Slx_obs.Obs
+module Json = Slx_obs.Json
+module Trace_export = Slx_obs.Trace_export
+
+(* (path, keep): kept for CI upload when [$SLX_SMOKE_TRACE] names it. *)
+let smoke_trace_path () =
+  match Sys.getenv_opt "SLX_SMOKE_TRACE" with
+  | Some p when p <> "" -> (p, true)
+  | _ -> (Filename.temp_file "slx_smoke" ".trace.json", false)
+
+let reconcile name pairs =
+  let bad = List.filter (fun (_, got, want) -> got <> want) pairs in
+  List.iter
+    (fun (what, got, want) ->
+      Printf.printf "  SMOKE FAILURE: %s: %s = %d, stats say %d\n" name what
+        got want)
+    bad;
+  bad = []
+
+let obs_live_smoke () =
+  let factory () = Slx_consensus.Register_consensus.factory ~max_rounds:16 () in
+  let invoke =
+    Slx_core.Explore.workload_invoke
+      (Driver.forever (fun p -> Slx_consensus.Consensus_type.Propose (p - 1)))
+  in
+  let good (_ : Slx_consensus.Consensus_type.response) = true in
+  let search ?obs () =
+    Slx_core.Live_explore.search ~n:2 ~factory ~invoke ~good
+      ~point:Slx_liveness.Freedom.obstruction_freedom ~depth:8 ~max_crashes:1
+      ?obs ()
+  in
+  let untraced = search () in
+  let obs = Obs.create ~tracing:true ~ring_capacity:(1 lsl 18) () in
+  let traced = search ~obs () in
+  let same_outcome =
+    (match (untraced.Slx_core.Live_explore.outcome,
+            traced.Slx_core.Live_explore.outcome) with
+    | Slx_core.Live_explore.No_fair_cycle, Slx_core.Live_explore.No_fair_cycle
+      ->
+        true
+    | Slx_core.Live_explore.Lasso _, Slx_core.Live_explore.Lasso _ -> true
+    | _ -> false)
+    && untraced.Slx_core.Live_explore.stats.Slx_core.Explore_stats.steps_executed
+       = traced.Slx_core.Live_explore.stats.Slx_core.Explore_stats.steps_executed
+  in
+  if not same_outcome then
+    Printf.printf "  SMOKE FAILURE: tracing changed the live search\n";
+  let st = traced.Slx_core.Live_explore.stats in
+  let path, keep = smoke_trace_path () in
+  Obs.write_trace obs path;
+  let verdict = Result.bind (Json.parse_file path) Trace_export.validate in
+  if not keep then Sys.remove path;
+  match verdict with
+  | Error msg ->
+      Printf.printf "  SMOKE FAILURE: live trace invalid: %s\n" msg;
+      false
+  | Ok sm ->
+      Printf.printf
+        "  {\"case\": \"register-live-(1,1)-depth-8-crashes-1-traced\", \
+         \"trace_events\": %d, \"node_spans\": %d, \"pump_spans\": %d, \
+         \"dropped\": %d, \"trace\": %S}\n"
+        sm.Trace_export.sm_events
+        (Trace_export.span_count sm "node")
+        (Trace_export.span_count sm "pump")
+        sm.Trace_export.sm_dropped path;
+      same_outcome
+      && reconcile "live trace"
+           [
+             ( "node spans",
+               Trace_export.span_count sm "node",
+               st.Slx_core.Explore_stats.nodes );
+             ( "cache_hit instants",
+               Trace_export.instant_count sm "cache_hit",
+               st.Slx_core.Explore_stats.cache_hits );
+             ( "cycle_candidate instants",
+               Trace_export.instant_count sm "cycle_candidate",
+               st.Slx_core.Explore_stats.cycles_examined );
+             ( "pump spans",
+               Trace_export.span_count sm "pump",
+               st.Slx_core.Explore_stats.fair_cycles );
+             ("dropped", sm.Trace_export.sm_dropped, 0);
+           ]
+
+let obs_parallel_smoke () =
+  let obs = Obs.create ~tracing:true ~ring_capacity:(1 lsl 18) () in
+  let e =
+    Slx_core.Explore.explore ~n:2
+      ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+      ~invoke:one_proposal ~depth:6 ~max_crashes:0 ~domains:2 ~obs ~check ()
+  in
+  let st = e.Slx_core.Explore.stats in
+  let path = Filename.temp_file "slx_smoke_par" ".trace.json" in
+  Obs.write_trace obs path;
+  let r =
+    match
+      Result.bind (Json.parse_file path) (fun j -> Trace_export.validate j)
+    with
+    | Error msg ->
+        Printf.printf "  SMOKE FAILURE: parallel trace invalid: %s\n" msg;
+        false
+    | Ok sm ->
+        Printf.printf
+          "  {\"case\": \"cas-depth-6-domains-2-traced\", \"lanes\": %d, \
+           \"flow_starts\": %d, \"flow_ends\": %d, \"steals\": %d}\n"
+          sm.Trace_export.sm_lanes sm.Trace_export.sm_flow_starts
+          sm.Trace_export.sm_flow_ends st.Slx_core.Explore_stats.steals;
+        reconcile "parallel trace"
+          [
+            ( "steal flow ends",
+              sm.Trace_export.sm_flow_ends,
+              st.Slx_core.Explore_stats.steals );
+            ("dropped", sm.Trace_export.sm_dropped, 0);
+          ]
+  in
+  Sys.remove path;
+  r
+
+(* The tracing-overhead row: the depth-10 reduced exploration with the
+   sink disabled vs a live ring sink, minimum elapsed_ns over a few
+   repetitions (the same instance as the reduction row above, so the
+   step count must come back identical). *)
+let obs_overhead_smoke () =
+  let explore ?obs () =
+    Slx_core.Explore.explore ~n:2
+      ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+      ~invoke:one_proposal ~depth:10 ~max_crashes:0 ~por:true ~symmetry:true
+      ?obs ~check ()
+  in
+  let best f =
+    let ns = ref max_int and last = ref None in
+    for _ = 1 to 3 do
+      let e = f () in
+      ns := min !ns e.Slx_core.Explore.stats.Slx_core.Explore_stats.elapsed_ns;
+      last := Some e
+    done;
+    (!ns, Option.get !last)
+  in
+  let off_ns, off = best (fun () -> explore ()) in
+  let on_ns, on_ =
+    best (fun () ->
+        explore ~obs:(Obs.create ~tracing:true ~ring_capacity:(1 lsl 18) ()) ())
+  in
+  let pct = 100.0 *. (float_of_int on_ns /. float_of_int off_ns -. 1.0) in
+  Printf.printf
+    "  {\"case\": \"register-depth-10-reduced-tracing-overhead\", \
+     \"untraced_ns\": %d, \"traced_ns\": %d, \"overhead_pct\": %.1f, \
+     \"steps\": %d}\n"
+    off_ns on_ns pct (steps off);
+  let agree = steps off = steps on_ && runs off = runs on_ in
+  if not agree then
+    Printf.printf
+      "  SMOKE FAILURE: tracing changed the reduced exploration (steps %d vs \
+       %d)\n"
+      (steps off) (steps on_);
+  agree
+
+let obs_smoke () =
+  Printf.printf "== bench smoke: traced exploration (observability) ==\n";
+  let live_ok = obs_live_smoke () in
+  let par_ok = obs_parallel_smoke () in
+  let ovh_ok = obs_overhead_smoke () in
+  live_ok && par_ok && ovh_ok
+
 let run () =
   Printf.printf "== bench smoke: incremental explorer vs naive replay ==\n";
   let cas_ratio, cas_eq =
@@ -142,14 +313,16 @@ let run () =
       ~depth:10 ~max_crashes:0
   in
   let live_ok = live_smoke () in
+  let obs_ok = obs_smoke () in
   let ok =
     cas_ratio >= 3.0 && crash_ratio >= 3.0 && red_ratio >= 3.0 && cas_eq
-    && crash_eq && red_eq && live_ok
+    && crash_eq && red_eq && live_ok && obs_ok
   in
   Printf.printf
     "smoke %s: depth-8 incremental ratios %.2fx / %.2fx, depth-10 reduction \
-     ratio %.2fx (bar: 3x each), live split %s\n"
+     ratio %.2fx (bar: 3x each), live split %s, traces %s\n"
     (if ok then "OK" else "FAILED")
     cas_ratio crash_ratio red_ratio
-    (if live_ok then "reproduced" else "BROKEN");
+    (if live_ok then "reproduced" else "BROKEN")
+    (if obs_ok then "reconciled" else "BROKEN");
   ok

@@ -16,11 +16,69 @@
 
    slx theorems
        Machine-check the Theorem 4.4 micro-universes and the Theorem
-       4.9 constructions.  *)
+       4.9 constructions.
+
+   slx stats --trace FILE
+       Replay a trace recorded with --trace into summary histograms.
+
+   The exploration subcommands additionally take --trace FILE (record
+   a Chrome trace-event JSON file, loadable in Perfetto) and
+   --progress[=SECS] (live heartbeats to stderr).  *)
 
 open Cmdliner
 open Slx_liveness
 open Slx_core
+module Obs = Slx_obs.Obs
+module Progress = Slx_obs.Progress
+module Json = Slx_obs.Json
+module Trace_export = Slx_obs.Trace_export
+
+(* ------------------------------------------------------------------ *)
+(* Shared observability flags.                                         *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the exploration as a Chrome trace-event JSON file \
+           (open it in Perfetto or chrome://tracing; replay it with \
+           $(b,slx stats)).")
+
+let progress_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 1.0) (some float) None
+    & info [ "progress" ] ~docv:"SECS"
+        ~doc:
+          "Print a live progress heartbeat to stderr every $(docv) \
+           seconds (default 1).")
+
+let progress_json_arg =
+  Arg.(
+    value & flag
+    & info [ "progress-json" ]
+        ~doc:
+          "Emit progress heartbeats as JSON lines instead of the human \
+           one-liner (implies $(b,--progress)).")
+
+let make_obs ~trace ~progress ~progress_json =
+  let reporter =
+    match (progress, progress_json) with
+    | None, false -> Progress.off
+    | interval, json -> Progress.create ?interval ~json ()
+  in
+  Obs.create ~tracing:(trace <> None) ~progress:reporter ()
+
+let write_trace obs = function
+  | None -> ()
+  | Some path ->
+      Obs.write_trace obs path;
+      let dropped = Obs.events_dropped obs in
+      Printf.eprintf "[slx] trace written to %s (%d events%s)\n%!" path
+        (List.length (Obs.events obs))
+        (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "")
 
 (* ------------------------------------------------------------------ *)
 (* figure1                                                             *)
@@ -328,7 +386,7 @@ let explore_cmd =
              ~doc:"Use the replay-from-scratch reference engine.")
   in
   let run impl depth max_crashes domains no_cache cache_capacity no_por
-      no_symmetry json naive =
+      no_symmetry json naive trace progress progress_json =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -348,6 +406,11 @@ let explore_cmd =
                  Consensus_type.Propose (p - 1)))
         in
         let check r = Consensus_safety.check r.Slx_sim.Run_report.history in
+        let obs = make_obs ~trace ~progress ~progress_json in
+        if naive && trace <> None then
+          prerr_endline
+            "[slx] note: the naive engine does not trace; the trace will \
+             be empty";
         let e =
           if naive then
             Explore.explore_naive ~n:2 ~factory ~invoke ~depth ~max_crashes
@@ -359,8 +422,9 @@ let explore_cmd =
             in
             Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes
               ~cache:(not no_cache) ?cache_capacity ~por:(not no_por)
-              ~symmetry:(not no_symmetry) ~domains ~check ()
+              ~symmetry:(not no_symmetry) ~domains ~obs ~check ()
         in
+        write_trace obs trace;
         if json then begin
           let outcome, runs =
             match e.Explore.outcome with
@@ -404,7 +468,7 @@ let explore_cmd =
     Term.(
       const run $ impl_arg $ depth_arg $ crashes_arg $ domains_arg
       $ no_cache_arg $ cache_capacity_arg $ no_por_arg $ no_symmetry_arg
-      $ json_arg $ naive_arg)
+      $ json_arg $ naive_arg $ trace_arg $ progress_arg $ progress_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* live-explore                                                        *)
@@ -466,7 +530,7 @@ let live_explore_cmd =
                    JSON object.")
   in
   let run impl property n depth max_crashes max_period pump_ticks invoke_order
-      no_cache cache_capacity json =
+      no_cache cache_capacity json trace progress progress_json =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -505,11 +569,13 @@ let live_explore_cmd =
             (Slx_sim.Driver.forever (fun p -> Consensus_type.Propose (p - 1)))
         in
         let good (_ : Consensus_type.response) = true in
+        let obs = make_obs ~trace ~progress ~progress_json in
         let r =
           Live_explore.search ~n ~factory ~invoke ~good ~point ~depth
             ~max_crashes ?max_period ?pump_ticks ~invoke_order
-            ~cache:(not no_cache) ?cache_capacity ()
+            ~cache:(not no_cache) ?cache_capacity ~obs ()
         in
+        write_trace obs trace;
         let dec_string = function
           | Slx_sim.Driver.Schedule p -> Printf.sprintf "S%d" p
           | Slx_sim.Driver.Invoke (p, Consensus_type.Propose v) ->
@@ -572,7 +638,148 @@ let live_explore_cmd =
     Term.(
       const run $ impl_arg $ property_arg $ procs_arg $ depth_arg $ crashes_arg
       $ max_period_arg $ pump_arg $ invoke_order_arg $ no_cache_arg
-      $ cache_capacity_arg $ json_arg)
+      $ cache_capacity_arg $ json_arg $ trace_arg $ progress_arg
+      $ progress_json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stats — replay a saved trace into histograms                        *)
+
+let stats_cmd =
+  let trace_file_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"The Chrome trace-event JSON file to replay.")
+  in
+  let run path =
+    match Json.parse_file path with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        1
+    | Ok json -> begin
+        match Trace_export.validate json with
+        | Error e ->
+            Printf.eprintf "%s: invalid trace: %s\n" path e;
+            1
+        | Ok sm ->
+            let events =
+              match Json.member "traceEvents" json with
+              | Some (Json.Arr es) -> es
+              | _ -> []
+            in
+            let str_field e k = Option.bind (Json.member k e) Json.str in
+            let int_field e k = Option.bind (Json.member k e) Json.int in
+            let num_field e k = Option.bind (Json.member k e) Json.num in
+            let arg_int e k =
+              Option.bind (Json.member "args" e) (fun a ->
+                  Option.bind (Json.member k a) Json.int)
+            in
+            Printf.printf "trace: %s\n" path;
+            Printf.printf "  events:        %d on %d lane(s), %d dropped\n"
+              sm.Trace_export.sm_events sm.Trace_export.sm_lanes
+              sm.Trace_export.sm_dropped;
+            List.iter
+              (fun (n, c) -> Printf.printf "  spans  %-15s %d\n" n c)
+              sm.Trace_export.sm_spans;
+            List.iter
+              (fun (n, c) -> Printf.printf "  events %-15s %d\n" n c)
+              sm.Trace_export.sm_instants;
+            Printf.printf "  steal flows:   %d published, %d stolen\n"
+              sm.Trace_export.sm_flow_starts sm.Trace_export.sm_flow_ends;
+            (* Cache-hit depth distribution: at which depths does the
+               transposition cache actually cut subtrees? *)
+            let hist = Hashtbl.create 16 in
+            List.iter
+              (fun e ->
+                if str_field e "name" = Some "cache_hit" then
+                  match arg_int e "depth" with
+                  | Some d ->
+                      Hashtbl.replace hist d
+                        (1 + Option.value ~default:0 (Hashtbl.find_opt hist d))
+                  | None -> ())
+              events;
+            if Hashtbl.length hist > 0 then begin
+              let rows =
+                List.sort compare
+                  (Hashtbl.fold (fun d c acc -> (d, c) :: acc) hist [])
+              in
+              let peak = List.fold_left (fun m (_, c) -> max m c) 1 rows in
+              Printf.printf "\n  cache-hit depth distribution:\n";
+              List.iter
+                (fun (d, c) ->
+                  Printf.printf "    depth %2d |%-40s %d\n" d
+                    (String.make (max 1 (40 * c / peak)) '#')
+                    c)
+                rows
+            end;
+            (* Steal latency: publication ("s") to theft ("f") per flow
+               id, in microseconds. *)
+            let pushed = Hashtbl.create 16 in
+            let latencies = ref [] in
+            List.iter
+              (fun e ->
+                match (str_field e "ph", int_field e "id", num_field e "ts")
+                with
+                | Some "s", Some id, Some ts -> Hashtbl.replace pushed id ts
+                | Some "f", Some id, Some ts -> begin
+                    match Hashtbl.find_opt pushed id with
+                    | Some t0 -> latencies := (ts -. t0) :: !latencies
+                    | None -> ()
+                  end
+                | _ -> ())
+              events;
+            let describe label = function
+              | [] -> ()
+              | xs ->
+                  let n = List.length xs in
+                  let total = List.fold_left ( +. ) 0. xs in
+                  let mn = List.fold_left min infinity xs in
+                  let mx = List.fold_left max neg_infinity xs in
+                  Printf.printf
+                    "\n  %s: %d sample(s), min %.1f us, mean %.1f us, max \
+                     %.1f us\n"
+                    label n mn (total /. float_of_int n) mx
+            in
+            describe "steal latency" !latencies;
+            (* Pump-validation cost: B/E "pump" span durations per
+               lane, tagged with the verdict carried on the close. *)
+            let open_pumps = Hashtbl.create 8 in
+            let pump_costs = ref [] in
+            let accepted = ref 0 in
+            List.iter
+              (fun e ->
+                if str_field e "name" = Some "pump" then
+                  let lane = (int_field e "pid", int_field e "tid") in
+                  match (str_field e "ph", num_field e "ts") with
+                  | Some "B", Some ts ->
+                      Hashtbl.replace open_pumps lane
+                        (ts
+                        :: Option.value ~default:[]
+                             (Hashtbl.find_opt open_pumps lane))
+                  | Some "E", Some ts -> begin
+                      match Hashtbl.find_opt open_pumps lane with
+                      | Some (t0 :: rest) ->
+                          Hashtbl.replace open_pumps lane rest;
+                          pump_costs := (ts -. t0) :: !pump_costs;
+                          if arg_int e "accepted" = Some 1 then incr accepted
+                      | _ -> ()
+                    end
+                  | _ -> ())
+              events;
+            describe "pump validation" !pump_costs;
+            if !pump_costs <> [] then
+              Printf.printf "    certificates accepted: %d of %d\n" !accepted
+                (List.length !pump_costs);
+            0
+      end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Validate a saved exploration trace and replay it into summary \
+          histograms")
+    Term.(const run $ trace_file_arg)
 
 let () =
   let info =
@@ -581,4 +788,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ figure1_cmd; game_cmd; tm_game_cmd; theorems_cmd; mutex_cmd;
-         explore_cmd; live_explore_cmd ]))
+         explore_cmd; live_explore_cmd; stats_cmd ]))

@@ -18,9 +18,10 @@ type ('k, 'v) t = {
   mutable hand : int;
   mutable size : int;
   mutable evictions : int;
+  sink : Slx_obs.Telemetry.sink;  (* eviction telemetry; null by default *)
 }
 
-let create ?capacity () =
+let create ?capacity ?(sink = Slx_obs.Telemetry.null) () =
   (match capacity with
   | Some c when c < 1 -> invalid_arg "Clock_cache.create: capacity < 1"
   | _ -> ());
@@ -30,11 +31,15 @@ let create ?capacity () =
     hand = 0;
     size = 0;
     evictions = 0;
+    sink;
   }
 
 let length t = Hashtbl.length t.tbl
 
 let evictions t = t.evictions
+
+let capacity t =
+  match Array.length t.ring with 0 -> None | c -> Some c
 
 let find_opt t k =
   match Hashtbl.find_opt t.tbl k with
@@ -63,6 +68,8 @@ let claim_slot t =
           t.ring.(slot) <- None;
           t.size <- t.size - 1;
           t.evictions <- t.evictions + 1;
+          Slx_obs.Telemetry.emit t.sink Slx_obs.Telemetry.Cache_evict
+            t.evictions 0;
           t.hand <- (slot + 1) mod cap;
           slot
       | None ->

@@ -15,9 +15,12 @@
 
 type ('k, 'v) t
 
-val create : ?capacity:int -> unit -> ('k, 'v) t
+val create :
+  ?capacity:int -> ?sink:Slx_obs.Telemetry.sink -> unit -> ('k, 'v) t
 (** [create ~capacity ()] holds at most [capacity] entries (unbounded
-    without it).  @raise Invalid_argument if [capacity < 1]. *)
+    without it).  [sink] (default {!Slx_obs.Telemetry.null}) receives
+    a [Cache_evict] event per eviction.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val find_opt : ('k, 'v) t -> 'k -> 'v option
 (** Lookup; marks the entry as recently referenced. *)
@@ -30,3 +33,6 @@ val length : ('k, 'v) t -> int
 
 val evictions : ('k, 'v) t -> int
 (** Total entries evicted so far. *)
+
+val capacity : ('k, 'v) t -> int option
+(** The configured bound ([None] when unbounded). *)

@@ -1,5 +1,9 @@
 open Slx_history
 open Slx_sim
+module Telemetry = Slx_obs.Telemetry
+module Progress = Slx_obs.Progress
+module Obs = Slx_obs.Obs
+module Clock = Slx_obs.Clock
 
 type ('inv, 'res) outcome =
   | Ok of int
@@ -21,6 +25,13 @@ let workload_invoke workload view p =
          view.Driver.history)
   in
   workload p issued
+
+(* The packed int the [Decision] telemetry event carries. *)
+let dec_code = function
+  | Driver.Schedule p -> Telemetry.Dec.schedule (Proc.hash p)
+  | Driver.Invoke (p, _) -> Telemetry.Dec.invoke (Proc.hash p)
+  | Driver.Crash p -> Telemetry.Dec.crash (Proc.hash p)
+  | Driver.Stop -> Telemetry.Dec.schedule 0  (* never in a menu *)
 
 (* ------------------------------------------------------------------ *)
 (* The decision menu.                                                  *)
@@ -115,9 +126,18 @@ type ('inv, 'res) witness =
 
 (* Per-engine (and, under fan-out, per-domain) mutable exploration
    state.  Domains share nothing mutable except the work queue and the
-   witness slot: each has its own cursors, transposition table and
-   counters, which keeps the engine deterministic and lock-free. *)
+   witness slot: each has its own cursors, transposition table,
+   telemetry ring and counters, which keeps the engine deterministic
+   and lock-free.  [index] is the spawn index (0 = the calling
+   domain); it keys the per-domain stats rows and the trace lanes.
+   [sample] is installed once all sibling states exist — only the
+   index-0 state ticks the progress reporter, reading sibling counters
+   racily (they are immediates, so a stale read is the worst case). *)
 type ('inv, 'res) dstate = {
+  index : int;
+  sink : Telemetry.sink;
+  progress : Progress.t;
+  mutable sample : unit -> Progress.sample;
   mutable nodes : int;
   mutable runs : int;
   mutable checked : int;
@@ -135,8 +155,24 @@ type ('inv, 'res) dstate = {
 
 and entry = { e_runs : int; e_digest : int }
 
-let new_state ?capacity () =
+let zero_sample =
   {
+    Progress.s_nodes = 0;
+    s_runs = 0;
+    s_steps = 0;
+    s_frontier = 0;
+    s_cache_entries = 0;
+    s_cache_capacity = 0;
+    s_cycles = 0;
+    s_domain_steps = [];
+  }
+
+let new_state ~index ?capacity ~sink ?(progress = Progress.off) () =
+  {
+    index;
+    sink;
+    progress;
+    sample = (fun () -> zero_sample);
     nodes = 0;
     runs = 0;
     checked = 0;
@@ -149,11 +185,15 @@ let new_state ?capacity () =
     digest = 0;
     found = None;
     ticks = ref 0;
-    table = Clock_cache.create ?capacity ();
+    table = Clock_cache.create ?capacity ~sink ();
   }
 
-let stats_of_states ~domains_used states : Explore_stats.t =
-  let per_domain f = if domains_used > 1 then List.map f states else [] in
+let stats_of_states ~domains_used ~elapsed_ns ~events_dropped states :
+    Explore_stats.t =
+  let per_domain f =
+    if domains_used > 1 then List.map (fun st -> (st.index, f st)) states
+    else []
+  in
   List.fold_left
     (fun (acc : Explore_stats.t) st ->
       {
@@ -175,10 +215,55 @@ let stats_of_states ~domains_used states : Explore_stats.t =
     {
       Explore_stats.zero with
       domains_used;
+      elapsed_ns;
+      events_dropped;
       per_domain_runs = per_domain (fun st -> st.runs);
       per_domain_steps = per_domain (fun st -> !(st.ticks));
     }
     states
+
+(* Install the progress sample on the index-0 state: totals over all
+   sibling states (racy reads of immediates), the frontier count, and
+   the per-domain step split. *)
+let wire_progress obs states frontier =
+  let progress = Obs.progress obs in
+  if Progress.enabled progress then begin
+    let cap_total =
+      Array.fold_left
+        (fun acc st ->
+          match Clock_cache.capacity st.table with
+          | None -> acc
+          | Some c -> acc + c)
+        0 states
+    in
+    let sample () =
+      let nodes = ref 0
+      and runs = ref 0
+      and steps = ref 0
+      and entries = ref 0 in
+      Array.iter
+        (fun st ->
+          nodes := !nodes + st.nodes;
+          runs := !runs + st.runs;
+          steps := !steps + !(st.ticks);
+          entries := !entries + Clock_cache.length st.table)
+        states;
+      {
+        Progress.s_nodes = !nodes;
+        s_runs = !runs;
+        s_steps = !steps;
+        s_frontier = frontier ();
+        s_cache_entries = !entries;
+        s_cache_capacity = cap_total;
+        s_cycles = 0;
+        s_domain_steps =
+          (if Array.length states > 1 then
+             Array.to_list (Array.map (fun st -> !(st.ticks)) states)
+           else []);
+      }
+    in
+    states.(0).sample <- sample
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Work-stealing fan-out.                                              *)
@@ -186,8 +271,11 @@ let stats_of_states ~domains_used states : Explore_stats.t =
 (* A frontier item: a configuration (as the decision prefix that
    reaches it — cursors hold one-shot continuations and cannot
    migrate, so thieves replay) plus the POR sleep set and the tree
-   rank it carries. *)
+   rank it carries.  [it_id] is the publication serial (the flow id of
+   the trace's steal arrows); [it_owner] the publisher's spawn
+   index. *)
 type ('inv, 'res) item = {
+  it_id : int;
   it_owner : int;
   it_script : ('inv, 'res) Driver.decision list;  (* reversed *)
   it_len : int;
@@ -199,11 +287,13 @@ type ('inv, 'res) item = {
 (* Shared state of a fan-out: a lock-free Treiber stack of frontier
    items (LIFO keeps thieves near the leaves their victim just left,
    so stolen replays are short), the count of queued-or-running items
-   for termination detection, and the least-rank witness slot. *)
+   for termination detection, the publication serial counter, and the
+   least-rank witness slot. *)
 type ('inv, 'res) shared = {
   queue : ('inv, 'res) item list Atomic.t;
   outstanding : int Atomic.t;
   spawn_bound : int;
+  next_item : int Atomic.t;
   best : ('inv, 'res) witness option Atomic.t;
 }
 
@@ -239,8 +329,9 @@ let record_witness shared ((rank, _, _) as w) =
 (* The incremental reduced engine.                                     *)
 
 let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
-    ?cache_capacity ?(por = false) ?(symmetry = false) ?(domains = 1) ~check ()
-    =
+    ?cache_capacity ?(por = false) ?(symmetry = false) ?(domains = 1)
+    ?(obs = Obs.disabled) ~check () =
+  let t0 = Clock.now_ns () in
   let menu = decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry in
   let make_cursor st =
     Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks ()
@@ -254,9 +345,25 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
      fully explored locally (so its transposition entry is exact and
      may be written).  Raises [Found_counterexample] with [st.found]
      set on the first failing maximal run, which under this in-order
-     walk is the rank-least one of the subtree. *)
+     walk is the rank-least one of the subtree.
+
+     [visit] wraps [visit_body] in the telemetry node span; the span
+     closes on every exit, [Found_counterexample] unwinds included, so
+     traces stay balanced.  With the sink disabled the wrapper costs
+     two branches and no [Fun.protect] frame. *)
   let rec visit sh st cursor rev_script rev_rank len crashes sleep =
     st.nodes <- st.nodes + 1;
+    Progress.tick st.progress st.sample;
+    if Telemetry.enabled st.sink then begin
+      Telemetry.emit st.sink Telemetry.Node_enter len 0;
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.emit st.sink Telemetry.Node_leave len 0)
+        (fun () ->
+          visit_body sh st cursor rev_script rev_rank len crashes sleep)
+    end
+    else visit_body sh st cursor rev_script rev_rank len crashes sleep
+  and visit_body sh st cursor rev_script rev_rank len crashes sleep =
     let key =
       if cache then
         Some { k_fp = Runner.Cursor.fingerprint cursor; k_sleep = sleep }
@@ -272,18 +379,22 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
         st.hits <- st.hits + 1;
         st.runs <- st.runs + e.e_runs;
         st.digest <- st.digest + e.e_digest;
+        Telemetry.emit st.sink Telemetry.Cache_hit len e.e_runs;
         true
     | None -> begin
         let decisions, sym_pruned =
           menu (Runner.Cursor.view cursor) len crashes
         in
         st.sym_pruned <- st.sym_pruned + sym_pruned;
+        if sym_pruned > 0 then
+          Telemetry.emit st.sink Telemetry.Symmetry_prune len sym_pruned;
         match decisions with
         | [] ->
             (* A maximal run: check it. *)
             let r = Runner.Cursor.report cursor ~window:(max len 1) () in
             st.runs <- st.runs + 1;
             st.checked <- st.checked + 1;
+            Telemetry.emit st.sink Telemetry.Run_checked len 0;
             let dh = Runtime.hash_value r.Run_report.history in
             st.digest <- st.digest + dh;
             Option.iter
@@ -311,6 +422,9 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
               else ([], decisions)
             in
             st.sleeps <- st.sleeps + List.length asleep;
+            if asleep <> [] then
+              Telemetry.emit st.sink Telemetry.Por_sleep len
+                (List.length asleep);
             match active with
             | [] ->
                 (* Everything enabled is asleep: every extension is a
@@ -381,18 +495,24 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
                       | Driver.Crash _ -> crashes + 1
                       | _ -> crashes
                     in
-                    if farm_out && i > 0 then
+                    if farm_out && i > 0 then begin
                       (* Publish the sibling as a stealable frontier
                          item; whoever pops it replays the prefix. *)
-                      push (Option.get sh)
+                      let sh = Option.get sh in
+                      let id = Atomic.fetch_and_add sh.next_item 1 in
+                      Telemetry.emit st.sink Telemetry.Frontier_push id
+                        (len + 1);
+                      push sh
                         {
-                          it_owner = (Domain.self () :> int);
+                          it_id = id;
+                          it_owner = st.index;
                           it_script = d :: rev_script;
                           it_len = len + 1;
                           it_crashes = crashes';
                           it_sleep = child_sleep;
                           it_rank = List.rev (i :: rev_rank);
                         }
+                    end
                     else begin
                       let child =
                         if i = 0 then begin
@@ -407,6 +527,8 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
                           c
                         end
                       in
+                      Telemetry.emit st.sink Telemetry.Decision (len + 1)
+                        (dec_code d);
                       Runner.Cursor.apply child d;
                       if
                         not
@@ -429,7 +551,12 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
       end
   in
   let finish ~domains_used states witness =
-    let stats = stats_of_states ~domains_used states in
+    let stats =
+      stats_of_states ~domains_used
+        ~elapsed_ns:(Clock.now_ns () - t0)
+        ~events_dropped:(Obs.events_dropped obs)
+        states
+    in
     match witness with
     | None ->
         { outcome = Ok stats.Explore_stats.runs; stats; witness_script = None }
@@ -438,7 +565,11 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
   in
   if domains <= 1 then begin
     (* Sequential: one in-order walk from the root configuration. *)
-    let st = new_state ?capacity:cache_capacity () in
+    let st =
+      new_state ~index:0 ?capacity:cache_capacity
+        ~sink:(Obs.sink obs ~index:0) ~progress:(Obs.progress obs) ()
+    in
+    wire_progress obs [| st |] (fun () -> 0);
     let root = make_cursor st in
     let witness =
       match visit None st root [] [] 0 0 [] with
@@ -460,21 +591,33 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
         queue = Atomic.make [];
         outstanding = Atomic.make 0;
         spawn_bound = 4 * fan_out;
+        next_item = Atomic.make 0;
         best = Atomic.make None;
       }
     in
+    let progress = Obs.progress obs in
+    let states =
+      Array.init fan_out (fun i ->
+          new_state ~index:i ?capacity:cache_capacity
+            ~sink:(Obs.sink obs ~index:i)
+            ~progress:(if i = 0 then progress else Progress.off)
+            ())
+    in
+    wire_progress obs states (fun () -> Atomic.get shared.outstanding);
+    let root_id = Atomic.fetch_and_add shared.next_item 1 in
+    Telemetry.emit states.(0).sink Telemetry.Frontier_push root_id 0;
     push shared
       {
-        it_owner = (Domain.self () :> int);
+        it_id = root_id;
+        it_owner = 0;
         it_script = [];
         it_len = 0;
         it_crashes = 0;
         it_sleep = [];
         it_rank = [];
       };
-    let worker () =
-      let st = new_state ?capacity:cache_capacity () in
-      let self = (Domain.self () :> int) in
+    let worker i () =
+      let st = states.(i) in
       let rec loop () =
         match pop shared with
         | Some it ->
@@ -486,7 +629,10 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
               | None -> false
             in
             if not skip then begin
-              if it.it_owner <> self then st.steals <- st.steals + 1;
+              if it.it_owner <> st.index then begin
+                st.steals <- st.steals + 1;
+                Telemetry.emit st.sink Telemetry.Steal it.it_id it.it_owner
+              end;
               let c = make_cursor st in
               List.iter (Runner.Cursor.apply c) (List.rev it.it_script);
               st.replayed <- st.replayed + it.it_len;
@@ -510,22 +656,26 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
               loop ()
             end
       in
-      loop ();
-      st
+      loop ()
     in
-    let handles = List.init (fan_out - 1) (fun _ -> Domain.spawn worker) in
-    let states = worker () :: List.map Domain.join handles in
-    finish ~domains_used:fan_out states (Atomic.get shared.best)
+    let handles =
+      List.init (fan_out - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join handles;
+    finish ~domains_used:fan_out (Array.to_list states)
+      (Atomic.get shared.best)
   end
 
 (* ------------------------------------------------------------------ *)
 (* The naive reference engine.                                         *)
 
 let explore_naive ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
+  let t0 = Clock.now_ns () in
   let menu =
     decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry:false
   in
-  let st = new_state () in
+  let st = new_state ~index:0 ~sink:Telemetry.null () in
   (* The retained reference engine: re-run the decision prefix from a
      fresh implementation instance at every node of the tree, exactly
      as the original explorer did.  Kept for differential testing and
@@ -564,7 +714,11 @@ let explore_naive ~n ~factory ~invoke ~depth ?(max_crashes = 0) ~check () =
     | () -> None
     | exception Found_counterexample -> st.found
   in
-  let stats = stats_of_states ~domains_used:1 [ st ] in
+  let stats =
+    stats_of_states ~domains_used:1
+      ~elapsed_ns:(Clock.now_ns () - t0)
+      ~events_dropped:0 [ st ]
+  in
   match witness with
   | None -> { outcome = Ok stats.Explore_stats.runs; stats; witness_script = None }
   | Some (_, script, r) ->

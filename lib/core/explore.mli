@@ -109,6 +109,7 @@ val explore :
   ?por:bool ->
   ?symmetry:bool ->
   ?domains:int ->
+  ?obs:Slx_obs.Obs.t ->
   check:(('inv, 'res) Run_report.t -> bool) ->
   unit ->
   ('inv, 'res) exploration
@@ -132,6 +133,16 @@ val explore :
     frontier queue; [factory], [invoke] and [check] then run
     concurrently in several domains and must not share unsynchronized
     mutable state.
+
+    [obs] (default {!Slx_obs.Obs.disabled}) attaches the observability
+    bundle: with tracing on, each domain records typed events (node
+    spans, decisions, cache hits/evicts, reductions, frontier
+    pushes/steals) into its own ring for Chrome-trace export, and the
+    bundle's progress reporter is ticked from the hot loop.  With the
+    default bundle every event site costs one branch; verdicts,
+    counters (other than [elapsed_ns]/[events_dropped]) and witnesses
+    are identical with tracing on or off.  Bundles are single-shot:
+    pass a fresh one to each exploration.
 
     The check runs on maximal runs only (depth reached or no decision
     available); the report's window is the whole run.  When a

@@ -14,8 +14,10 @@ type t = {
   fair_cycles : int;
   domains_used : int;
   steals : int;
-  per_domain_runs : int list;
-  per_domain_steps : int list;
+  per_domain_runs : (int * int) list;
+  per_domain_steps : (int * int) list;
+  elapsed_ns : int;
+  events_dropped : int;
   history_digest : int;
 }
 
@@ -38,8 +40,18 @@ let zero =
     steals = 0;
     per_domain_runs = [];
     per_domain_steps = [];
+    elapsed_ns = 0;
+    events_dropped = 0;
     history_digest = 0;
   }
+
+(* Per-domain rows are keyed by spawn index so a merge of partial
+   stats lands in spawn order no matter the order the partials arrive
+   in — the trace's per-domain lanes and [per_domain_steps] then name
+   the same domains.  The sort is stable: when merging stats of
+   separate explorations (which reuse spawn indices) each
+   exploration's rows keep their relative order. *)
+let by_index rows = List.stable_sort (fun (a, _) (b, _) -> compare a b) rows
 
 let merge a b =
   {
@@ -58,12 +70,23 @@ let merge a b =
     fair_cycles = a.fair_cycles + b.fair_cycles;
     domains_used = max a.domains_used b.domains_used;
     steals = a.steals + b.steals;
-    per_domain_runs = a.per_domain_runs @ b.per_domain_runs;
-    per_domain_steps = a.per_domain_steps @ b.per_domain_steps;
+    per_domain_runs = by_index (a.per_domain_runs @ b.per_domain_runs);
+    per_domain_steps = by_index (a.per_domain_steps @ b.per_domain_steps);
+    elapsed_ns = a.elapsed_ns + b.elapsed_ns;
+    events_dropped = a.events_dropped + b.events_dropped;
     history_digest = a.history_digest + b.history_digest;
   }
 
+let values rows = List.map snd rows
+
 let pp_int_list rs = String.concat ", " (List.map string_of_int rs)
+
+let pp_elapsed fmt ns =
+  if ns >= 1_000_000_000 then
+    Format.fprintf fmt "%.2f s" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then
+    Format.fprintf fmt "%.2f ms" (float_of_int ns /. 1e6)
+  else Format.fprintf fmt "%.1f us" (float_of_int ns /. 1e3)
 
 let pp fmt s =
   Format.fprintf fmt
@@ -71,23 +94,31 @@ let pp fmt s =
      steps executed:   %d (replayed: %d)@,replays avoided:  %d@,\
      cache:            %d hits / %d entries / %d evictions@,\
      reductions:       %d slept (POR), %d pruned (symmetry)@,\
-     domains:          %d (%d steals)"
+     domains:          %d (%d steals)@,elapsed:          %a"
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
     s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
-    s.por_sleeps s.symmetry_pruned s.domains_used s.steals;
+    s.por_sleeps s.symmetry_pruned s.domains_used s.steals pp_elapsed
+    s.elapsed_ns;
   if s.cycles_examined > 0 || s.fair_cycles > 0 then
     Format.fprintf fmt "@,cycles:           %d examined, %d fair violating"
       s.cycles_examined s.fair_cycles;
+  if s.events_dropped > 0 then
+    Format.fprintf fmt "@,telemetry:        %d events dropped (ring overflow)"
+      s.events_dropped;
   (match s.per_domain_runs with
   | [] | [ _ ] -> ()
-  | rs -> Format.fprintf fmt "@,runs per domain:  %s" (pp_int_list rs));
+  | rs -> Format.fprintf fmt "@,runs per domain:  %s" (pp_int_list (values rs)));
   (match s.per_domain_steps with
   | [] | [ _ ] -> ()
-  | rs -> Format.fprintf fmt "@,steps per domain: %s" (pp_int_list rs));
+  | rs ->
+      Format.fprintf fmt "@,steps per domain: %s" (pp_int_list (values rs)));
   Format.fprintf fmt "@]"
 
-let json_int_list rs =
-  "[" ^ String.concat ", " (List.map string_of_int rs) ^ "]"
+let json_pair_list rs =
+  "["
+  ^ String.concat ", "
+      (List.map (fun (d, v) -> Printf.sprintf "[%d, %d]" d v) rs)
+  ^ "]"
 
 let to_json s =
   Printf.sprintf
@@ -97,11 +128,12 @@ let to_json s =
      \"cache_evictions\": %d, \"por_sleeps\": %d, \"symmetry_pruned\": %d, \
      \"cycles_examined\": %d, \"fair_cycles\": %d, \
      \"domains_used\": %d, \"steals\": %d, \"per_domain_runs\": %s, \
-     \"per_domain_steps\": %s, \"history_digest\": %d}"
+     \"per_domain_steps\": %s, \"elapsed_ns\": %d, \"events_dropped\": %d, \
+     \"history_digest\": %d}"
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
     s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
     s.por_sleeps s.symmetry_pruned s.cycles_examined s.fair_cycles
     s.domains_used s.steals
-    (json_int_list s.per_domain_runs)
-    (json_int_list s.per_domain_steps)
-    s.history_digest
+    (json_pair_list s.per_domain_runs)
+    (json_pair_list s.per_domain_steps)
+    s.elapsed_ns s.events_dropped s.history_digest

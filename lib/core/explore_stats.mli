@@ -51,15 +51,28 @@ type t = {
   steals : int;
       (** Frontier items executed by a domain other than the one that
           pushed them (work-stealing fan-out; 0 when sequential). *)
-  per_domain_runs : int list;
-      (** Maximal runs accounted per domain (spawn order; empty for
-          sequential exploration).  Informational: the split depends on
-          domain scheduling; every non-[per_domain_*] counter except
+  per_domain_runs : (int * int) list;
+      (** Maximal runs accounted per domain, as
+          [(spawn index, runs)] pairs sorted by spawn index (empty for
+          sequential exploration).  Keying by spawn index — not list
+          position — is what lets {!merge} combine partial stats
+          arriving in any order without scrambling which domain a row
+          describes.  Informational: the split depends on domain
+          scheduling; every non-[per_domain_*] counter except
           [steps_executed]/[steps_replayed] does not. *)
-  per_domain_steps : int list;
-      (** Runtime ticks executed per domain (spawn order) — the honest
-          load-balance report: with work-stealing these should be close
-          to uniform even when the decision tree is skewed. *)
+  per_domain_steps : (int * int) list;
+      (** Runtime ticks executed per domain, as [(spawn index, steps)]
+          pairs sorted by spawn index — the honest load-balance report:
+          with work-stealing these should be close to uniform even when
+          the decision tree is skewed. *)
+  elapsed_ns : int;
+      (** Wall-clock nanoseconds of the exploration, measured inside
+          the engine (entry to join).  {!merge} sums, so a merged value
+          is total exploration time, not a wall-clock span. *)
+  events_dropped : int;
+      (** Telemetry events lost to ring-buffer overflow while tracing
+          (0 when tracing is off or every ring kept up).  Non-zero
+          means the exported trace under-reports — grow the ring. *)
   history_digest : int;
       (** Order-insensitive digest (wrapping integer sum of deep hashes)
           of the final histories of all maximal runs.  Two engines that
@@ -74,10 +87,17 @@ type t = {
 val zero : t
 
 val merge : t -> t -> t
-(** Pointwise sum (max for [domains_used], concatenation for the
-    [per_domain_*] lists). *)
+(** Pointwise sum (max for [domains_used]; the [per_domain_*] pair
+    lists are concatenated and stably re-sorted by spawn index, so the
+    result is in spawn order no matter the order the partials are
+    merged in). *)
+
+val values : (int * int) list -> int list
+(** Drop the spawn indices of a [per_domain_*] list, keeping the
+    values in spawn order. *)
 
 val pp : Format.formatter -> t -> unit
 
 val to_json : t -> string
-(** One-line JSON object of the full record ([per_domain_*] as arrays). *)
+(** One-line JSON object of the full record ([per_domain_*] as arrays
+    of [[index, value]] pairs). *)

@@ -1,6 +1,10 @@
 open Slx_history
 open Slx_sim
 open Slx_liveness
+module Telemetry = Slx_obs.Telemetry
+module Progress = Slx_obs.Progress
+module Obs = Slx_obs.Obs
+module Clock = Slx_obs.Clock
 
 type ('inv, 'res) outcome =
   | Lasso of ('inv, 'res) Lasso.cert
@@ -26,6 +30,9 @@ type ('inv, 'res) key = {
 }
 
 type ('inv, 'res) state = {
+  sink : Telemetry.sink;
+  progress : Progress.t;
+  mutable sample : unit -> Progress.sample;
   mutable nodes : int;
   mutable runs : int;
   mutable replayed : int;
@@ -39,8 +46,24 @@ type ('inv, 'res) state = {
   table : (('inv, 'res) key, unit) Clock_cache.t;
 }
 
-let new_state ?capacity () =
+let zero_sample =
   {
+    Progress.s_nodes = 0;
+    s_runs = 0;
+    s_steps = 0;
+    s_frontier = 0;
+    s_cache_entries = 0;
+    s_cache_capacity = 0;
+    s_cycles = 0;
+    s_domain_steps = [];
+  }
+
+let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off) ()
+    =
+  {
+    sink;
+    progress;
+    sample = (fun () -> zero_sample);
     nodes = 0;
     runs = 0;
     replayed = 0;
@@ -51,10 +74,35 @@ let new_state ?capacity () =
     fair = 0;
     found = None;
     ticks = ref 0;
-    table = Clock_cache.create ?capacity ();
+    table = Clock_cache.create ?capacity ~sink ();
   }
 
-let stats_of_state st : Explore_stats.t =
+(* Install the progress sample: the live search is sequential, so the
+   snapshot is a plain read of the single state's counters. *)
+let wire_progress st =
+  if Progress.enabled st.progress then
+    st.sample <-
+      (fun () ->
+        {
+          Progress.s_nodes = st.nodes;
+          s_runs = st.runs;
+          s_steps = !(st.ticks);
+          s_frontier = 0;
+          s_cache_entries = Clock_cache.length st.table;
+          s_cache_capacity =
+            Option.value ~default:0 (Clock_cache.capacity st.table);
+          s_cycles = st.cycles;
+          s_domain_steps = [];
+        })
+
+(* The packed int the [Decision] telemetry event carries. *)
+let dec_code = function
+  | Driver.Schedule p -> Telemetry.Dec.schedule (Proc.hash p)
+  | Driver.Invoke (p, _) -> Telemetry.Dec.invoke (Proc.hash p)
+  | Driver.Crash p -> Telemetry.Dec.crash (Proc.hash p)
+  | Driver.Stop -> Telemetry.Dec.schedule 0  (* never in a menu *)
+
+let stats_of_state ~elapsed_ns ~events_dropped st : Explore_stats.t =
   {
     Explore_stats.zero with
     Explore_stats.nodes = st.nodes;
@@ -69,6 +117,8 @@ let stats_of_state st : Explore_stats.t =
     cycles_examined = st.cycles;
     fair_cycles = st.fair;
     domains_used = 1;
+    elapsed_ns;
+    events_dropped;
   }
 
 let rec take k xs =
@@ -144,11 +194,14 @@ let eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks ~blocked
         let progressed =
           List.fold_left Proc.Set.union Proc.Set.empty (take p rev_goods)
         in
-        if
+        let fair_violating =
           fair_cycle
           && Freedom.violated_on_cycle ~correct ~active:granted ~progressed
                point
-        then begin
+        in
+        Telemetry.emit st.sink Telemetry.Cycle_candidate p
+          (if fair_violating then 1 else 0);
+        if fair_violating then begin
           st.fair <- st.fair + 1;
           let cert =
             Lasso.cert_of_cursor
@@ -158,17 +211,23 @@ let eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks ~blocked
               cursor
           in
           let reps = max 2 ((pump_ticks + p - 1) / p) in
+          (* The pump span closes with its verdict on every path —
+             rejected, refuted, or accepted — before [Found_lasso] can
+             unwind, so traces stay balanced. *)
+          Telemetry.emit st.sink Telemetry.Pump_start p 0;
           match
             Lasso.pump ~factory:(factory ()) ~ticks:st.ticks ~repetitions:reps
               cert
           with
-          | Error _ -> ()
+          | Error _ -> Telemetry.emit st.sink Telemetry.Pump_verdict p 0
           | Ok rep ->
               let certified =
                 Proc.Set.subset (Fairness.starved rep) blocked
                 && (not (Freedom.holds ~good rep point))
                 && Option.is_some (Lasso.window_period rep)
               in
+              Telemetry.emit st.sink Telemetry.Pump_verdict p
+                (if certified then 1 else 0);
               if certified then begin
                 st.found <- Some cert;
                 raise Found_lasso
@@ -180,10 +239,16 @@ let eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks ~blocked
 
 let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
     ?max_period ?pump_ticks ?(invoke_order = false) ?(cache = true)
-    ?cache_capacity () =
+    ?cache_capacity ?(obs = Obs.disabled) () =
+  let t0 = Clock.now_ns () in
   let max_period = Option.value max_period ~default:(max 1 (depth / 2)) in
   let pump_ticks = Option.value pump_ticks ~default:(4 * depth) in
-  let st = new_state ?capacity:cache_capacity () in
+  let st =
+    new_state ?capacity:cache_capacity
+      ~sink:(Obs.sink obs ~index:0)
+      ~progress:(Obs.progress obs) ()
+  in
+  wire_progress st;
   let all_procs = Proc.all ~n in
   (* The decision menu, in the same canonical order as {!Explore}:
      step/invoke process 1..n, then (under the crash budget) crash
@@ -208,6 +273,7 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                 | Some inv ->
                     if invoke_order && !seen_invoke then begin
                       st.invoke_pruned <- st.invoke_pruned + 1;
+                      Telemetry.emit st.sink Telemetry.Por_sleep len 1;
                       []
                     end
                     else begin
@@ -239,8 +305,20 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
            && Option.is_none (invoke view p))
          all_procs)
   in
+  (* As in {!Explore}: [visit] wraps [visit_body] in the node span,
+     closed on every exit ([Found_lasso] unwinds included). *)
   let rec visit cursor rev_script rev_cells rev_goods len crashes =
     st.nodes <- st.nodes + 1;
+    Progress.tick st.progress st.sample;
+    if Telemetry.enabled st.sink then begin
+      Telemetry.emit st.sink Telemetry.Node_enter len 0;
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.emit st.sink Telemetry.Node_leave len 0)
+        (fun () -> visit_body cursor rev_script rev_cells rev_goods len crashes)
+    end
+    else visit_body cursor rev_script rev_cells rev_goods len crashes
+  and visit_body cursor rev_script rev_cells rev_goods len crashes =
     let key =
       if cache then
         Some
@@ -251,7 +329,9 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
       else None
     in
     match Option.bind key (Clock_cache.find_opt st.table) with
-    | Some () -> st.hits <- st.hits + 1
+    | Some () ->
+        st.hits <- st.hits + 1;
+        Telemetry.emit st.sink Telemetry.Cache_hit len 0
     | None ->
         let view = Runner.Cursor.view cursor in
         eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks
@@ -279,6 +359,8 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                     c
                   end
                 in
+                Telemetry.emit st.sink Telemetry.Decision (len + 1)
+                  (dec_code d);
                 Runner.Cursor.apply child d;
                 let fresh =
                   drop before
@@ -298,10 +380,18 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
     | () -> No_fair_cycle
     | exception Found_lasso -> Lasso (Option.get st.found)
   in
-  { outcome; stats = stats_of_state st }
+  {
+    outcome;
+    stats =
+      stats_of_state
+        ~elapsed_ns:(Clock.now_ns () - t0)
+        ~events_dropped:(Obs.events_dropped obs)
+        st;
+  }
 
 let certify_run ~n ~factory ~driver ~good ~point ~max_steps ?max_period
     ?pump_ticks () =
+  let t0 = Clock.now_ns () in
   let max_period = Option.value max_period ~default:(max 1 (max_steps / 4)) in
   let pump_ticks = Option.value pump_ticks ~default:(max 64 (2 * max_period)) in
   let st = new_state () in
@@ -335,4 +425,8 @@ let certify_run ~n ~factory ~driver ~good ~point ~max_steps ?max_period
     | () -> No_fair_cycle
     | exception Found_lasso -> Lasso (Option.get st.found)
   in
-  { outcome; stats = stats_of_state st }
+  {
+    outcome;
+    stats =
+      stats_of_state ~elapsed_ns:(Clock.now_ns () - t0) ~events_dropped:0 st;
+  }

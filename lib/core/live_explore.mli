@@ -90,6 +90,7 @@ val search :
   ?invoke_order:bool ->
   ?cache:bool ->
   ?cache_capacity:int ->
+  ?obs:Slx_obs.Obs.t ->
   unit ->
   ('inv, 'res) result
 (** [search ~n ~factory ~invoke ~good ~point ~depth ()] explores every
@@ -108,7 +109,15 @@ val search :
     (default [false]) prunes all but the least idle process's
     invocation at each node (sound for cycles, see module doc);
     [cache]/[cache_capacity] control the suffix-keyed transposition
-    cache. *)
+    cache.
+
+    [obs] (default {!Slx_obs.Obs.disabled}) attaches the observability
+    bundle, as in {!Explore.explore}: node spans, decisions, cache
+    hits, [invoke_order] prunes, one [Cycle_candidate] instant per
+    candidate (tagged fair-and-violating or not) and one pump span per
+    validation attempt, closed with its verdict on every path.
+    Verdicts and counters (other than [elapsed_ns]/[events_dropped])
+    are identical with tracing on or off. *)
 
 val certify_run :
   n:int ->

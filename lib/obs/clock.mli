@@ -1,0 +1,10 @@
+(** Wall-clock timestamps in integer nanoseconds.
+
+    [now_ns] is [Unix.gettimeofday] scaled to nanoseconds — the only
+    sub-second clock the standard distribution offers without C stubs.
+    It is subject to NTP adjustment, so consumers that need
+    monotonicity (the telemetry rings, the progress reporter) clamp it
+    per stream; at the microsecond granularity of a trace the
+    distinction is invisible in practice. *)
+
+val now_ns : unit -> int

@@ -1,0 +1,37 @@
+(** A minimal JSON reader — just enough to load a saved trace back
+    (the [slx stats] replay mode, the bench smoke's trace validation,
+    and the well-formedness tests), with no third-party dependency.
+
+    The grammar is standard JSON; numbers are read as [float]
+    ([\u] escapes are decoded only for the ASCII range and replaced
+    with ['?'] otherwise, which the traces this library emits never
+    contain). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing garbage is an error.  The error
+    string includes the offending byte offset. *)
+
+val parse_file : string -> (t, string) result
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj] ([None] on anything else or a missing key). *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [[]] on anything else. *)
+
+val num : t -> float option
+
+val int : t -> int option
+(** [num] truncated. *)
+
+val str : t -> string option

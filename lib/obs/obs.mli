@@ -1,0 +1,42 @@
+(** The engine-facing observability bundle.
+
+    One [Obs.t] configures one exploration: whether tracing is on
+    (and each domain's ring capacity) and which progress reporter to
+    tick.  Engines call {!sink} once per domain at spawn — with
+    tracing off this returns {!Telemetry.null} and the whole subsystem
+    costs one branch per event site — and the CLI / bench harvest the
+    merged events afterwards with {!events} / {!write_trace}.
+
+    A bundle is single-shot: rings registered by one exploration stay
+    until the bundle is dropped, so create a fresh bundle per run. *)
+
+type t
+
+val disabled : t
+(** No tracing, no progress: the default of every engine. *)
+
+val create :
+  ?tracing:bool -> ?ring_capacity:int -> ?progress:Progress.t -> unit -> t
+(** [tracing] (default [false]) turns event recording on;
+    [ring_capacity] (default [65536]) sizes each domain's ring;
+    [progress] (default {!Progress.off}) is the heartbeat reporter. *)
+
+val tracing : t -> bool
+
+val progress : t -> Progress.t
+
+val sink : t -> index:int -> Telemetry.sink
+(** A sink for the domain with spawn index [index]: a fresh registered
+    ring when tracing, {!Telemetry.null} otherwise.  Thread-safe. *)
+
+val events : t -> Telemetry.event list
+(** All recorded events, merged across domains and sorted by
+    timestamp (stable, so each domain's emission order is kept). *)
+
+val events_dropped : t -> int
+(** Total ring-overflow drops across all domains. *)
+
+val write_trace : t -> string -> unit
+(** Export {!events} as Chrome trace-event JSON to the given path. *)
+
+val trace_string : t -> string

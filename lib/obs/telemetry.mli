@@ -1,0 +1,94 @@
+(** Typed engine events and low-overhead sinks.
+
+    The exploration engines ({!Slx_core.Explore},
+    {!Slx_core.Live_explore}) emit one {!event} per interesting action
+    — node enter/leave, decision taken, cache hit/evict, POR sleep,
+    symmetry prune, frontier push, steal, cycle candidate, pump
+    start/verdict — into a {!sink}.  Two sinks exist:
+
+    - {!null} — the disabled default.  [emit] on it is a single branch
+      on an immediate value: no clock read, no allocation, no write.
+      Every emission site passes plain [int] arguments, so a disabled
+      sink costs one predictable conditional per event site.
+    - a {e ring sink} ({!ring}, {!sink_of_ring}) — a preallocated
+      circular buffer owned by one domain (sinks are single-writer;
+      each domain of a fan-out records into its own ring and the rings
+      are merged at the join).  When the ring is full the oldest
+      events are overwritten and counted as {!ring_dropped}.
+
+    Timestamps are wall-clock nanoseconds ({!Clock.now_ns}) clamped to
+    be non-decreasing per ring. *)
+
+type kind =
+  | Node_enter  (** a = depth; span open, paired with [Node_leave]. *)
+  | Node_leave  (** a = depth; emitted on every exit, exceptions included. *)
+  | Decision  (** a = depth reached, b = {!Dec} code of the decision. *)
+  | Run_checked  (** a = depth; a maximal run was checked. *)
+  | Cache_hit  (** a = depth, b = runs credited from the entry. *)
+  | Cache_evict  (** a = evictions so far ({!Slx_core.Clock_cache}). *)
+  | Por_sleep  (** a = depth, b = decisions slept. *)
+  | Symmetry_prune  (** a = depth, b = decisions pruned. *)
+  | Frontier_push  (** a = frontier item id, b = item depth. *)
+  | Steal  (** a = frontier item id, b = owner domain index. *)
+  | Cycle_candidate  (** a = period, b = 1 iff fair and violating. *)
+  | Pump_start  (** a = period; span open, paired with [Pump_verdict]. *)
+  | Pump_verdict  (** a = period, b = 1 iff the certificate pumped. *)
+
+val kind_name : kind -> string
+(** Stable lower-snake-case name, used as the Chrome-trace event name. *)
+
+type event = {
+  ev_ns : int;  (** Timestamp, ns (non-decreasing within a ring). *)
+  ev_domain : int;  (** Spawn index of the emitting domain. *)
+  ev_kind : kind;
+  ev_a : int;
+  ev_b : int;
+}
+
+type sink
+
+val null : sink
+(** The disabled sink: [emit] is a no-op costing one branch. *)
+
+val enabled : sink -> bool
+
+val emit : sink -> kind -> int -> int -> unit
+(** [emit sink kind a b] records an event.  Arguments are plain ints
+    precisely so that call sites allocate nothing when the sink is
+    disabled. *)
+
+(** {2 Ring sinks} *)
+
+type ring
+
+val ring : ?capacity:int -> domain:int -> unit -> ring
+(** A fresh ring for the domain with the given spawn index.
+    [capacity] (default [65536]) must be >= 1; when more events are
+    emitted the oldest are overwritten and counted as dropped. *)
+
+val sink_of_ring : ring -> sink
+
+val ring_domain : ring -> int
+
+val ring_written : ring -> int
+(** Total events ever emitted into the ring. *)
+
+val ring_dropped : ring -> int
+(** Events overwritten by wraparound ([max 0 (written - capacity)]). *)
+
+val ring_events : ring -> event list
+(** The retained events, oldest first. *)
+
+(** {2 Decision codes} *)
+
+(** Scheduler decisions packed into one int for the [Decision] event:
+    the process id shifted left twice, or-ed with a 2-bit tag. *)
+module Dec : sig
+  val schedule : int -> int
+  val invoke : int -> int
+  val crash : int -> int
+
+  val pp : int -> string
+  (** ["S1"], ["I2"], ["C1"] — the notation of the CLI witness
+      scripts. *)
+end

@@ -538,15 +538,63 @@ let test_explore_parallel_matches_sequential () =
     (seq.Explore.stats.Explore_stats.history_digest
     = par.Explore.stats.Explore_stats.history_digest);
   check_bool "fanned out" true (par.Explore.stats.Explore_stats.domains_used > 1);
+  let sum rows = List.fold_left ( + ) 0 (Explore_stats.values rows) in
   check_int "per-domain runs sum to the total"
     par.Explore.stats.Explore_stats.runs
-    (List.fold_left ( + ) 0 par.Explore.stats.Explore_stats.per_domain_runs);
+    (sum par.Explore.stats.Explore_stats.per_domain_runs);
   check_int "per-domain steps sum to the total"
     par.Explore.stats.Explore_stats.steps_executed
-    (List.fold_left ( + ) 0 par.Explore.stats.Explore_stats.per_domain_steps);
+    (sum par.Explore.stats.Explore_stats.per_domain_steps);
   check_int "one per-domain entry per domain"
     par.Explore.stats.Explore_stats.domains_used
-    (List.length par.Explore.stats.Explore_stats.per_domain_steps)
+    (List.length par.Explore.stats.Explore_stats.per_domain_steps);
+  check_int "per-domain rows are index-tagged in spawn order" 0
+    (fst (List.hd par.Explore.stats.Explore_stats.per_domain_steps));
+  check_bool "exploration measured its own wall clock" true
+    (par.Explore.stats.Explore_stats.elapsed_ns >= 0
+    && seq.Explore.stats.Explore_stats.elapsed_ns >= 0);
+  check_int "no telemetry, no drops" 0
+    (par.Explore.stats.Explore_stats.events_dropped)
+
+let test_stats_merge_out_of_order () =
+  (* The per-domain rows are keyed by spawn index, so merging partial
+     stats in any arrival order must yield the same spawn-ordered
+     report — the bug this guards against is a join that concatenates
+     lists positionally and silently misattributes domains. *)
+  let partial index runs steps =
+    {
+      Explore_stats.zero with
+      Explore_stats.runs;
+      steps_executed = steps;
+      domains_used = 3;
+      elapsed_ns = 10;
+      events_dropped = index;
+      per_domain_runs = [ (index, runs) ];
+      per_domain_steps = [ (index, steps) ];
+    }
+  in
+  let d0 = partial 0 5 50 and d1 = partial 1 7 70 and d2 = partial 2 3 30 in
+  let forward =
+    Explore_stats.merge (Explore_stats.merge d0 d1) d2
+  in
+  let scrambled =
+    Explore_stats.merge d2 (Explore_stats.merge d1 d0)
+  in
+  let pairs =
+    Alcotest.(check (list (pair int int)))
+  in
+  pairs "runs rows land in spawn order regardless of merge order"
+    [ (0, 5); (1, 7); (2, 3) ]
+    scrambled.Explore_stats.per_domain_runs;
+  pairs "steps rows land in spawn order regardless of merge order"
+    forward.Explore_stats.per_domain_steps
+    scrambled.Explore_stats.per_domain_steps;
+  check_int "scalar counters merge pointwise" 15 scrambled.Explore_stats.runs;
+  check_int "elapsed sums" 30 scrambled.Explore_stats.elapsed_ns;
+  check_int "drops sum" 3 scrambled.Explore_stats.events_dropped;
+  Alcotest.(check (list int))
+    "values strips the indices in spawn order" [ 50; 70; 30 ]
+    (Explore_stats.values scrambled.Explore_stats.per_domain_steps)
 
 (* One start-tryC transaction per process, derived from the history. *)
 let one_txn view p =
@@ -697,6 +745,7 @@ let suites =
         quick "stats sanity" test_explore_stats_sanity;
         quick "reduction + eviction stats" test_explore_reduction_stats;
         quick "parallel matches sequential" test_explore_parallel_matches_sequential;
+        quick "stats merge out of order" test_stats_merge_out_of_order;
       ] );
     ( "core-clock-cache",
       [

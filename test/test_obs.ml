@@ -1,0 +1,385 @@
+(* The observability subsystem (Slx_obs): ring sinks, the JSON reader,
+   Chrome-trace export/validation, progress heartbeats — and the
+   contract that matters most: tracing never changes what an engine
+   computes. *)
+
+open Slx_core
+open Support
+module Telemetry = Slx_obs.Telemetry
+module Progress = Slx_obs.Progress
+module Obs = Slx_obs.Obs
+module Json = Slx_obs.Json
+module Trace_export = Slx_obs.Trace_export
+
+(* ------------------------------------------------------------------ *)
+(* Ring sinks.                                                         *)
+
+let test_ring_wraparound () =
+  let r = Telemetry.ring ~capacity:4 ~domain:0 () in
+  let sink = Telemetry.sink_of_ring r in
+  for i = 1 to 10 do
+    Telemetry.emit sink Telemetry.Run_checked i 0
+  done;
+  check_int "every emission is counted" 10 (Telemetry.ring_written r);
+  check_int "overflow is accounted as drops" 6 (Telemetry.ring_dropped r);
+  let events = Telemetry.ring_events r in
+  check_int "the ring retains capacity events" 4 (List.length events);
+  Alcotest.(check (list int))
+    "oldest events are the ones overwritten" [ 7; 8; 9; 10 ]
+    (List.map (fun e -> e.Telemetry.ev_a) events);
+  List.iter
+    (fun e -> check_int "events carry the ring's domain" 0 e.Telemetry.ev_domain)
+    events;
+  let rec monotone = function
+    | a :: (b :: _ as tl) ->
+        check_bool "timestamps are non-decreasing" true
+          (a.Telemetry.ev_ns <= b.Telemetry.ev_ns);
+        monotone tl
+    | _ -> ()
+  in
+  monotone events
+
+let test_ring_below_capacity () =
+  let r = Telemetry.ring ~capacity:8 ~domain:3 () in
+  let sink = Telemetry.sink_of_ring r in
+  for i = 1 to 5 do
+    Telemetry.emit sink Telemetry.Cache_hit i (10 * i)
+  done;
+  check_int "no drops below capacity" 0 (Telemetry.ring_dropped r);
+  check_int "all events retained" 5 (List.length (Telemetry.ring_events r));
+  check_bool "ring sinks are enabled" true (Telemetry.enabled sink);
+  check_bool "the null sink is disabled" false (Telemetry.enabled Telemetry.null);
+  (* Emitting into the null sink must be a no-op (and not crash). *)
+  Telemetry.emit Telemetry.null Telemetry.Steal 1 2
+
+let test_dec_codes () =
+  Alcotest.(check string) "schedule" "S1" (Telemetry.Dec.pp (Telemetry.Dec.schedule 1));
+  Alcotest.(check string) "invoke" "I2" (Telemetry.Dec.pp (Telemetry.Dec.invoke 2));
+  Alcotest.(check string) "crash" "C3" (Telemetry.Dec.pp (Telemetry.Dec.crash 3))
+
+(* ------------------------------------------------------------------ *)
+(* The minimal JSON reader.                                            *)
+
+let test_json_parses_values () =
+  (match Json.parse "{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": true, \"d\": null}}" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+      check_int "array int" 1
+        (Option.get
+           (Json.int (List.nth (Json.to_list (Option.get (Json.member "a" j))) 0)));
+      Alcotest.(check (float 1e-9))
+        "array float" 2.5
+        (Option.get
+           (Json.num (List.nth (Json.to_list (Option.get (Json.member "a" j))) 1)));
+      Alcotest.(check string)
+        "nested string" "x"
+        (Option.get
+           (Json.str (List.nth (Json.to_list (Option.get (Json.member "a" j))) 2)));
+      check_bool "nested bool" true
+        (Option.get (Json.member "b" j) |> Json.member "c"
+        = Some (Json.Bool true)));
+  match Json.parse "\"a\\n\\\"b\\\\c\\u0041\"" with
+  | Error e -> Alcotest.failf "escape parse failed: %s" e
+  | Ok j ->
+      Alcotest.(check string) "escapes decode" "a\n\"b\\cA" (Option.get (Json.str j))
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parser accepted %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "1 2";
+  bad "nul";
+  bad "\"unterminated"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome-trace export and validation.                                 *)
+
+let ev ?(domain = 0) ns kind a b =
+  { Telemetry.ev_ns = ns; ev_domain = domain; ev_kind = kind; ev_a = a; ev_b = b }
+
+let test_trace_export_well_formed () =
+  let events =
+    [
+      ev 100 Telemetry.Node_enter 0 0;
+      ev 110 Telemetry.Decision 1 (Telemetry.Dec.schedule 1);
+      ev 120 Telemetry.Node_enter 1 0;
+      ev 130 Telemetry.Cache_hit 1 3;
+      ev 140 Telemetry.Node_leave 1 0;
+      ev 150 Telemetry.Frontier_push 7 1;
+      ev 160 ~domain:1 Telemetry.Steal 7 0;
+      ev 170 Telemetry.Pump_start 2 0;
+      ev 180 Telemetry.Pump_verdict 2 1;
+      ev 190 Telemetry.Node_leave 0 0;
+    ]
+  in
+  let s = Trace_export.to_string ~events_dropped:5 events in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "emitted trace does not parse: %s" e
+  | Ok json -> begin
+      match Trace_export.validate json with
+      | Error e -> Alcotest.failf "emitted trace does not validate: %s" e
+      | Ok sm ->
+          check_int "all events survive the round trip" 10
+            sm.Trace_export.sm_events;
+          check_int "node spans balance" 2 (Trace_export.span_count sm "node");
+          check_int "pump spans balance" 1 (Trace_export.span_count sm "pump");
+          check_int "cache hit instant" 1
+            (Trace_export.instant_count sm "cache_hit");
+          check_int "one flow start" 1 sm.Trace_export.sm_flow_starts;
+          check_int "one flow end" 1 sm.Trace_export.sm_flow_ends;
+          check_int "two lanes" 2 sm.Trace_export.sm_lanes;
+          check_int "dropped count survives" 5 sm.Trace_export.sm_dropped
+    end
+
+let test_trace_validate_rejects_unbalanced () =
+  let unbalanced =
+    [ ev 100 Telemetry.Node_enter 0 0; ev 110 Telemetry.Node_enter 1 0;
+      ev 120 Telemetry.Node_leave 1 0 ]
+  in
+  (match
+     Json.parse (Trace_export.to_string ~events_dropped:0 unbalanced)
+   with
+  | Ok json -> begin
+      match Trace_export.validate json with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "validator accepted an open span"
+    end
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e);
+  let orphan_flow = [ ev 100 ~domain:2 Telemetry.Steal 9 0 ] in
+  match Json.parse (Trace_export.to_string ~events_dropped:0 orphan_flow) with
+  | Ok json -> begin
+      match Trace_export.validate json with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "validator accepted a flow end without start"
+    end
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Tracing through the engines: determinism and reconciliation.        *)
+
+let one_proposal =
+  Explore.workload_invoke
+    (Slx_sim.Driver.n_times 1 (fun p _ ->
+         Slx_consensus.Consensus_type.Propose (p - 1)))
+
+let explore_register ?cache ?cache_capacity ?(por = false) ?(symmetry = false)
+    ?domains ?obs () =
+  Explore.explore ~n:2
+    ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+    ~invoke:one_proposal ~depth:8 ?cache ?cache_capacity ~por ~symmetry
+    ?domains ?obs
+    ~check:(fun r ->
+      Slx_consensus.Consensus_safety.check r.Slx_sim.Run_report.history)
+    ()
+
+let essence ~steps e =
+  let s = e.Explore.stats in
+  ( (match e.Explore.outcome with
+    | Explore.Ok runs -> ("ok", runs)
+    | Explore.Counterexample _ -> ("cex", 0)),
+    s.Explore_stats.runs,
+    (if steps then s.Explore_stats.steps_executed else 0),
+    s.Explore_stats.history_digest )
+
+let test_tracing_does_not_change_verdicts () =
+  (* [steps_executed] is scheduling-dependent in the parallel engine
+     (per-domain transposition caches split differently run to run), so
+     it is only compared for the deterministic sequential configs; the
+     verdict, run count and history digest must match everywhere. *)
+  let configs =
+    [
+      ("plain", true, fun obs -> explore_register ~obs ());
+      ("no-cache", true, fun obs -> explore_register ~cache:false ~obs ());
+      ( "bounded-cache",
+        true,
+        fun obs -> explore_register ~cache_capacity:8 ~obs () );
+      ( "por+symmetry",
+        true,
+        fun obs -> explore_register ~por:true ~symmetry:true ~obs () );
+      ("domains-3", false, fun obs -> explore_register ~domains:3 ~obs ());
+    ]
+  in
+  List.iter
+    (fun (name, steps, run) ->
+      (* A bundle is single-shot, so each run gets its own. *)
+      let untraced = run (Obs.create ()) in
+      let traced = run (Obs.create ~tracing:true ()) in
+      Alcotest.(check (pair (pair (pair string int) int) (pair int int)))
+        (name ^ ": tracing changes nothing the engine computes")
+        (let a, b, c, d = essence ~steps untraced in
+         (((fst a, snd a), b), (c, d)))
+        (let a, b, c, d = essence ~steps traced in
+         (((fst a, snd a), b), (c, d))))
+    configs
+
+let count_kind events k =
+  List.length (List.filter (fun e -> e.Telemetry.ev_kind = k) events)
+
+let test_traced_events_reconcile_with_stats () =
+  let obs = Obs.create ~tracing:true () in
+  let e = explore_register ~cache_capacity:8 ~obs () in
+  let s = e.Explore.stats in
+  let events = Obs.events obs in
+  check_int "no drops at the default ring size" 0 (Obs.events_dropped obs);
+  check_int "one node-enter per visited node" s.Explore_stats.nodes
+    (count_kind events Telemetry.Node_enter);
+  check_int "node spans balance" s.Explore_stats.nodes
+    (count_kind events Telemetry.Node_leave);
+  check_int "one cache-hit event per cache hit" s.Explore_stats.cache_hits
+    (count_kind events Telemetry.Cache_hit);
+  check_int "one evict event per eviction" s.Explore_stats.cache_evictions
+    (count_kind events Telemetry.Cache_evict);
+  check_int "one run-checked event per checked run" s.Explore_stats.runs_checked
+    (count_kind events Telemetry.Run_checked);
+  (* The export of the same run validates and agrees on the counts. *)
+  match Json.parse (Obs.trace_string obs) with
+  | Error err -> Alcotest.failf "engine trace does not parse: %s" err
+  | Ok json -> begin
+      match Trace_export.validate json with
+      | Error err -> Alcotest.failf "engine trace does not validate: %s" err
+      | Ok sm ->
+          check_int "exported node spans match the stats" s.Explore_stats.nodes
+            (Trace_export.span_count sm "node");
+          check_int "exported cache hits match the stats"
+            s.Explore_stats.cache_hits
+            (Trace_export.instant_count sm "cache_hit")
+    end
+
+let test_traced_steals_have_flow_starts () =
+  let obs = Obs.create ~tracing:true () in
+  let e = explore_register ~domains:2 ~obs () in
+  let s = e.Explore.stats in
+  match Json.parse (Obs.trace_string obs) with
+  | Error err -> Alcotest.failf "parallel trace does not parse: %s" err
+  | Ok json -> begin
+      match Trace_export.validate json with
+      | Error err ->
+          Alcotest.failf "parallel trace does not validate: %s" err
+      | Ok sm ->
+          (* validate already proved every flow end has a start. *)
+          check_int "one flow end per steal" s.Explore_stats.steals
+            sm.Trace_export.sm_flow_ends;
+          check_bool "spans balance on every lane" true
+            (Trace_export.span_count sm "node" = s.Explore_stats.nodes)
+    end
+
+let test_live_search_traced_matches_untraced () =
+  let point = Slx_liveness.Freedom.make ~l:1 ~k:1 in
+  let invoke =
+    Explore.workload_invoke
+      (Slx_sim.Driver.forever (fun p ->
+           Slx_consensus.Consensus_type.Propose (p - 1)))
+  in
+  let search ?obs () =
+    Live_explore.search ~n:2
+      ~factory:(fun () ->
+        Slx_consensus.Register_consensus.factory ~max_rounds:8 ())
+      ~invoke
+      ~good:(fun (_ : Slx_consensus.Consensus_type.response) -> true)
+      ~point ~depth:6 ~max_crashes:1 ?obs ()
+  in
+  let untraced = search () in
+  let obs = Obs.create ~tracing:true () in
+  let traced = search ~obs () in
+  let verdict r =
+    match r.Live_explore.outcome with
+    | Live_explore.Lasso _ -> "lasso"
+    | Live_explore.No_fair_cycle -> "none"
+  in
+  Alcotest.(check string)
+    "same verdict" (verdict untraced) (verdict traced);
+  check_int "same cycles examined"
+    untraced.Live_explore.stats.Explore_stats.cycles_examined
+    traced.Live_explore.stats.Explore_stats.cycles_examined;
+  check_int "same steps"
+    untraced.Live_explore.stats.Explore_stats.steps_executed
+    traced.Live_explore.stats.Explore_stats.steps_executed;
+  let s = traced.Live_explore.stats in
+  match Json.parse (Obs.trace_string obs) with
+  | Error err -> Alcotest.failf "live trace does not parse: %s" err
+  | Ok json -> begin
+      match Trace_export.validate json with
+      | Error err -> Alcotest.failf "live trace does not validate: %s" err
+      | Ok sm ->
+          check_int "one cycle-candidate instant per candidate"
+            s.Explore_stats.cycles_examined
+            (Trace_export.instant_count sm "cycle_candidate");
+          check_int "one pump span per fair violating candidate"
+            s.Explore_stats.fair_cycles
+            (Trace_export.span_count sm "pump")
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Progress heartbeats.                                                *)
+
+let test_progress_jsonl () =
+  let path = Filename.temp_file "slx_progress" ".jsonl" in
+  let oc = open_out path in
+  let reporter = Progress.create ~interval:0.0 ~json:true ~out:oc () in
+  let obs = Obs.create ~progress:reporter () in
+  let e = explore_register ~obs () in
+  close_out oc;
+  check_bool "the reporter beat at least once" true (Progress.beats reporter > 0);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  check_int "one line per beat" (Progress.beats reporter) (List.length !lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error err -> Alcotest.failf "heartbeat is not JSON (%s): %s" err line
+      | Ok j ->
+          check_bool "heartbeat reports nodes" true
+            (match Option.bind (Json.member "nodes" j) Json.int with
+            | Some n ->
+                n > 0 && n <= e.Explore.stats.Explore_stats.nodes
+            | None -> false))
+    !lines;
+  Sys.remove path
+
+let test_progress_off_is_free () =
+  check_bool "off reporter is disabled" false (Progress.enabled Progress.off);
+  check_int "off reporter never beats" 0 (Progress.beats Progress.off);
+  Progress.tick Progress.off (fun () -> Alcotest.fail "sampled a disabled reporter")
+
+let suites =
+  [
+    ( "obs-telemetry",
+      [
+        quick "ring wraparound accounting" test_ring_wraparound;
+        quick "ring below capacity" test_ring_below_capacity;
+        quick "decision codes" test_dec_codes;
+      ] );
+    ( "obs-json",
+      [
+        quick "parses values and escapes" test_json_parses_values;
+        quick "rejects garbage" test_json_rejects_garbage;
+      ] );
+    ( "obs-trace",
+      [
+        quick "export is well-formed" test_trace_export_well_formed;
+        quick "validator rejects unbalanced traces"
+          test_trace_validate_rejects_unbalanced;
+        quick "tracing changes no verdict" test_tracing_does_not_change_verdicts;
+        quick "events reconcile with stats"
+          test_traced_events_reconcile_with_stats;
+        quick "steal flows are anchored" test_traced_steals_have_flow_starts;
+        quick "live search traced = untraced"
+          test_live_search_traced_matches_untraced;
+      ] );
+    ( "obs-progress",
+      [
+        quick "json-lines heartbeats" test_progress_jsonl;
+        quick "disabled reporter is free" test_progress_off_is_free;
+      ] );
+  ]
