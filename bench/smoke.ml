@@ -294,6 +294,50 @@ let obs_smoke () =
   let ovh_ok = obs_overhead_smoke () in
   live_ok && par_ok && ovh_ok
 
+(* The sanitizer-overhead row: the same depth-10 reduced instance with
+   the counting shadow off vs on.  Sanitizing must change no decision
+   (identical steps and runs), find no violations in the instrumented
+   implementations, and — since the shadow is a domain-local read plus
+   a branch per touch — stay within noise. *)
+let sanitize_overhead_smoke () =
+  Printf.printf "== bench smoke: sanitizer overhead (counting shadow) ==\n";
+  let explore ~sanitize () =
+    Slx_core.Explore.explore ~n:2
+      ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+      ~invoke:one_proposal ~depth:10 ~max_crashes:0 ~por:true ~symmetry:true
+      ~sanitize ~check ()
+  in
+  let best f =
+    let ns = ref max_int and last = ref None in
+    for _ = 1 to 3 do
+      let e = f () in
+      ns := min !ns e.Slx_core.Explore.stats.Slx_core.Explore_stats.elapsed_ns;
+      last := Some e
+    done;
+    (!ns, Option.get !last)
+  in
+  let off_ns, off = best (fun () -> explore ~sanitize:false ()) in
+  let on_ns, on_ = best (fun () -> explore ~sanitize:true ()) in
+  let violations =
+    on_.Slx_core.Explore.stats.Slx_core.Explore_stats.footprint_violations
+  in
+  let pct = 100.0 *. (float_of_int on_ns /. float_of_int off_ns -. 1.0) in
+  Printf.printf
+    "  {\"case\": \"register-depth-10-reduced-sanitizer-overhead\", \
+     \"off_ns\": %d, \"on_ns\": %d, \"overhead_pct\": %.1f, \"steps\": %d, \
+     \"violations\": %d}\n"
+    off_ns on_ns pct (steps off) violations;
+  let agree =
+    steps off = steps on_ && runs off = runs on_ && digest off = digest on_
+    && violations = 0
+  in
+  if not agree then
+    Printf.printf
+      "  SMOKE FAILURE: sanitizing changed the exploration (steps %d vs %d, \
+       runs %d vs %d, violations %d)\n"
+      (steps off) (steps on_) (runs off) (runs on_) violations;
+  agree
+
 let run () =
   Printf.printf "== bench smoke: incremental explorer vs naive replay ==\n";
   let cas_ratio, cas_eq =
@@ -314,15 +358,17 @@ let run () =
   in
   let live_ok = live_smoke () in
   let obs_ok = obs_smoke () in
+  let san_ok = sanitize_overhead_smoke () in
   let ok =
     cas_ratio >= 3.0 && crash_ratio >= 3.0 && red_ratio >= 3.0 && cas_eq
-    && crash_eq && red_eq && live_ok && obs_ok
+    && crash_eq && red_eq && live_ok && obs_ok && san_ok
   in
   Printf.printf
     "smoke %s: depth-8 incremental ratios %.2fx / %.2fx, depth-10 reduction \
-     ratio %.2fx (bar: 3x each), live split %s, traces %s\n"
+     ratio %.2fx (bar: 3x each), live split %s, traces %s, sanitizer %s\n"
     (if ok then "OK" else "FAILED")
     cas_ratio crash_ratio red_ratio
     (if live_ok then "reproduced" else "BROKEN")
-    (if obs_ok then "reconciled" else "BROKEN");
+    (if obs_ok then "reconciled" else "BROKEN")
+    (if san_ok then "transparent" else "BROKEN");
   ok

@@ -21,6 +21,11 @@
    slx stats --trace FILE
        Replay a trace recorded with --trace into summary histograms.
 
+   slx audit [--ci] [--oracle] [--json] [--group G] [--case NAME]
+       Sweep every registered implementation's bounded schedule tree
+       with the conflict-soundness sanitizer armed; nonzero exit on
+       any footprint violation.
+
    The exploration subcommands additionally take --trace FILE (record
    a Chrome trace-event JSON file, loadable in Perfetto) and
    --progress[=SECS] (live heartbeats to stderr).  *)
@@ -385,8 +390,14 @@ let explore_cmd =
          & info [ "naive" ]
              ~doc:"Use the replay-from-scratch reference engine.")
   in
+  let sanitize_arg =
+    Arg.(value & flag
+         & info [ "sanitize" ]
+             ~doc:"Arm the footprint sanitizer (counting mode): report \
+                   violations in the stats without changing the verdict.")
+  in
   let run impl depth max_crashes domains no_cache cache_capacity no_por
-      no_symmetry json naive trace progress progress_json =
+      no_symmetry json naive sanitize trace progress progress_json =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -411,6 +422,9 @@ let explore_cmd =
           prerr_endline
             "[slx] note: the naive engine does not trace; the trace will \
              be empty";
+        if naive && sanitize then
+          prerr_endline
+            "[slx] note: the naive engine does not sanitize; use slx audit";
         let e =
           if naive then
             Explore.explore_naive ~n:2 ~factory ~invoke ~depth ~max_crashes
@@ -422,7 +436,7 @@ let explore_cmd =
             in
             Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes
               ~cache:(not no_cache) ?cache_capacity ~por:(not no_por)
-              ~symmetry:(not no_symmetry) ~domains ~obs ~check ()
+              ~symmetry:(not no_symmetry) ~domains ~obs ~sanitize ~check ()
         in
         write_trace obs trace;
         if json then begin
@@ -468,7 +482,8 @@ let explore_cmd =
     Term.(
       const run $ impl_arg $ depth_arg $ crashes_arg $ domains_arg
       $ no_cache_arg $ cache_capacity_arg $ no_por_arg $ no_symmetry_arg
-      $ json_arg $ naive_arg $ trace_arg $ progress_arg $ progress_json_arg)
+      $ json_arg $ naive_arg $ sanitize_arg $ trace_arg $ progress_arg
+      $ progress_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* live-explore                                                        *)
@@ -781,6 +796,99 @@ let stats_cmd =
           histograms")
     Term.(const run $ trace_file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* audit                                                               *)
+
+let audit_cmd =
+  let module Audit = Slx_analysis.Audit in
+  let module Registry = Slx_analysis.Audit_registry in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the full report as one JSON object.")
+  in
+  let ci_arg =
+    Arg.(value & flag
+         & info [ "ci" ]
+             ~doc:"Use the larger CI depth bound of each case.")
+  in
+  let oracle_arg =
+    Arg.(value & flag
+         & info [ "oracle" ]
+             ~doc:"Also run the commutation oracle: execute both orders \
+                   of declared-commuting pending pairs and compare the \
+                   resulting states.")
+  in
+  let depth_arg =
+    Arg.(value & opt (some int) None
+         & info [ "depth" ]
+             ~doc:"Override every case's depth bound (use with --case).")
+  in
+  let group_arg =
+    Arg.(value & opt (some string) None
+         & info [ "group"; "g" ]
+             ~doc:"Only audit cases of this group (base, consensus, \
+                   objects, universal, tm, fixture).")
+  in
+  let case_arg =
+    Arg.(value & opt (some string) None
+         & info [ "case"; "c" ] ~doc:"Only audit the named case.")
+  in
+  let fixtures_arg =
+    Arg.(value & flag
+         & info [ "fixtures" ]
+             ~doc:"Include the deliberately mis-declared fixtures (each \
+                   is expected dirty; for demonstration, not gating).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~doc:"Also write the report to this file.")
+  in
+  let run json ci oracle depth group case fixtures out =
+    let pool =
+      if fixtures then Registry.all () @ Registry.fixture_cases ()
+      else Registry.all ()
+    in
+    let cases = Registry.select ?group ?name:case pool in
+    if cases = [] then begin
+      prerr_endline "[slx] no audit cases match the filter";
+      1
+    end
+    else begin
+      let bound = if ci then `Ci else `Runtest in
+      let rp =
+        {
+          Audit.rp_bound = (if ci then "ci" else "runtest");
+          rp_results =
+            List.map (fun c -> Audit.run_case ~bound ?depth ~oracle c) cases;
+        }
+      in
+      let rendered =
+        if json then Audit.report_to_json rp ^ "\n"
+        else Format.asprintf "%a" Audit.pp_report rp
+      in
+      print_string rendered;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          output_string oc rendered;
+          close_out oc)
+        out;
+      if Audit.clean rp then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Sweep every registered implementation's bounded schedule tree \
+          with the conflict-soundness sanitizer armed: race-detect \
+          undeclared base-object accesses (with replayable witnesses), \
+          certify the observed conflict relation against declared \
+          footprints, and lint over-declarations.  Nonzero exit on any \
+          violation.")
+    Term.(
+      const run $ json_arg $ ci_arg $ oracle_arg $ depth_arg $ group_arg
+      $ case_arg $ fixtures_arg $ out_arg)
+
 let () =
   let info =
     Cmd.info "slx" ~version:"1.0.0"
@@ -788,4 +896,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ figure1_cmd; game_cmd; tm_game_cmd; theorems_cmd; mutex_cmd;
-         explore_cmd; live_explore_cmd; stats_cmd ]))
+         explore_cmd; live_explore_cmd; stats_cmd; audit_cmd ]))

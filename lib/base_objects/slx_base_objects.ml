@@ -5,13 +5,30 @@
    declares, via [atomic_access], which object it touches and whether
    it writes, so the explorer's partial-order reduction can recognize
    commuting steps.  See Runtime's "Configuration fingerprinting" and
-   "Access footprints" sections. *)
+   "Access footprints" sections.
+
+   Primitives route every physical cell access through [load]/[store],
+   which report the access to the sanitizer shadow (Runtime.touch, a
+   no-op unless a shadow is installed).  The report is attached to the
+   cell, not to the declaring wrapper, so a primitive whose declared
+   footprint disagrees with what it physically does is caught by the
+   race detector rather than trusted. *)
 let fingerprinted state read =
   Slx_sim.Runtime.register_object (fun () ->
       Slx_sim.Runtime.hash_value (read state))
 
 let reads ~obj f = Slx_sim.Runtime.atomic_access ~obj ~write:false f
 let writes ~obj f = Slx_sim.Runtime.atomic_access ~obj ~write:true f
+
+(* Shadow-reported ref-cell accesses.  [obj] is the id of the base
+   object owning the cell. *)
+let load ~obj st =
+  Slx_sim.Runtime.touch ~obj ~write:false;
+  !st
+
+let store ~obj st v =
+  Slx_sim.Runtime.touch ~obj ~write:true;
+  st := v
 
 module Register = struct
   type 'a t = { st : 'a ref; obj : int }
@@ -20,8 +37,8 @@ module Register = struct
     let st = ref v in
     { st; obj = fingerprinted st ( ! ) }
 
-  let read r = reads ~obj:r.obj (fun () -> !(r.st))
-  let write r v = writes ~obj:r.obj (fun () -> r.st := v)
+  let read r = reads ~obj:r.obj (fun () -> load ~obj:r.obj r.st)
+  let write r v = writes ~obj:r.obj (fun () -> store ~obj:r.obj r.st v)
 end
 
 module Cas = struct
@@ -31,12 +48,12 @@ module Cas = struct
     let st = ref v in
     { st; obj = fingerprinted st ( ! ) }
 
-  let read r = reads ~obj:r.obj (fun () -> !(r.st))
+  let read r = reads ~obj:r.obj (fun () -> load ~obj:r.obj r.st)
 
   let compare_and_swap r ~expected ~desired =
     writes ~obj:r.obj (fun () ->
-        if !(r.st) = expected then begin
-          r.st := desired;
+        if load ~obj:r.obj r.st = expected then begin
+          store ~obj:r.obj r.st desired;
           true
         end
         else false)
@@ -51,15 +68,15 @@ module Test_and_set = struct
 
   let test_and_set r =
     writes ~obj:r.obj (fun () ->
-        if !(r.st) then false
+        if load ~obj:r.obj r.st then false
         else begin
-          r.st := true;
+          store ~obj:r.obj r.st true;
           true
         end)
 
-  let reset r = writes ~obj:r.obj (fun () -> r.st := false)
+  let reset r = writes ~obj:r.obj (fun () -> store ~obj:r.obj r.st false)
 
-  let read r = reads ~obj:r.obj (fun () -> !(r.st))
+  let read r = reads ~obj:r.obj (fun () -> load ~obj:r.obj r.st)
 end
 
 module Fetch_and_add = struct
@@ -71,11 +88,11 @@ module Fetch_and_add = struct
 
   let fetch_and_add r d =
     writes ~obj:r.obj (fun () ->
-        let old = !(r.st) in
-        r.st := old + d;
+        let old = load ~obj:r.obj r.st in
+        store ~obj:r.obj r.st (old + d);
         old)
 
-  let read r = reads ~obj:r.obj (fun () -> !(r.st))
+  let read r = reads ~obj:r.obj (fun () -> load ~obj:r.obj r.st)
 end
 
 module Queue = struct
@@ -85,14 +102,16 @@ module Queue = struct
     let st = ref items in
     { st; obj = fingerprinted st ( ! ) }
 
-  let enqueue q v = writes ~obj:q.obj (fun () -> q.st := !(q.st) @ [ v ])
+  let enqueue q v =
+    writes ~obj:q.obj (fun () ->
+        store ~obj:q.obj q.st (load ~obj:q.obj q.st @ [ v ]))
 
   let dequeue q =
     writes ~obj:q.obj (fun () ->
-        match !(q.st) with
+        match load ~obj:q.obj q.st with
         | [] -> None
         | x :: rest ->
-            q.st := rest;
+            store ~obj:q.obj q.st rest;
             Some x)
 end
 
@@ -106,10 +125,16 @@ module Snapshot = struct
 
   (* Object-granularity footprints: updates of different segments are
      declared on the same object and therefore not commuted by the
-     explorer — sound, merely conservative. *)
+     explorer — sound, merely conservative.  Touches are likewise
+     object-granular. *)
   let update s p v =
     if p < 1 || p > Array.length s.st then invalid_arg "Snapshot.update";
-    writes ~obj:s.obj (fun () -> s.st.(p - 1) <- v)
+    writes ~obj:s.obj (fun () ->
+        Slx_sim.Runtime.touch ~obj:s.obj ~write:true;
+        s.st.(p - 1) <- v)
 
-  let scan s = reads ~obj:s.obj (fun () -> Array.copy s.st)
+  let scan s =
+    reads ~obj:s.obj (fun () ->
+        Slx_sim.Runtime.touch ~obj:s.obj ~write:false;
+        Array.copy s.st)
 end

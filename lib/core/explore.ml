@@ -151,6 +151,11 @@ type ('inv, 'res) dstate = {
   mutable found : ('inv, 'res) witness option;
   ticks : int ref;
   table : (('inv, 'res) key, entry) Clock_cache.t;
+  shadow : Runtime.shadow option;
+      (* Sanitizer shadow shared by all this domain's cursors:
+         non-raising, non-recording — it only counts violations, so a
+         sanitized exploration takes exactly the decisions an
+         unsanitized one does. *)
 }
 
 and entry = { e_runs : int; e_digest : int }
@@ -167,7 +172,8 @@ let zero_sample =
     s_domain_steps = [];
   }
 
-let new_state ~index ?capacity ~sink ?(progress = Progress.off) () =
+let new_state ~index ?capacity ~sink ?(progress = Progress.off)
+    ?(sanitize = false) () =
   {
     index;
     sink;
@@ -186,6 +192,10 @@ let new_state ~index ?capacity ~sink ?(progress = Progress.off) () =
     found = None;
     ticks = ref 0;
     table = Clock_cache.create ?capacity ~sink ();
+    shadow =
+      (if sanitize then
+         Some (Runtime.make_shadow ~record:false ~raise_on_violation:false ())
+       else None);
   }
 
 let stats_of_states ~domains_used ~elapsed_ns ~events_dropped states :
@@ -210,6 +220,12 @@ let stats_of_states ~domains_used ~elapsed_ns ~events_dropped states :
         por_sleeps = acc.por_sleeps + st.sleeps;
         symmetry_pruned = acc.symmetry_pruned + st.sym_pruned;
         steals = acc.steals + st.steals;
+        footprint_violations =
+          (acc.Explore_stats.footprint_violations
+          +
+          match st.shadow with
+          | Some sh -> Runtime.shadow_violation_count sh
+          | None -> 0);
         history_digest = acc.history_digest + st.digest;
       })
     {
@@ -330,11 +346,12 @@ let record_witness shared ((rank, _, _) as w) =
 
 let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
     ?cache_capacity ?(por = false) ?(symmetry = false) ?(domains = 1)
-    ?(obs = Obs.disabled) ~check () =
+    ?(obs = Obs.disabled) ?(sanitize = false) ~check () =
   let t0 = Clock.now_ns () in
   let menu = decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry in
   let make_cursor st =
-    Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks ()
+    Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks
+      ?shadow:st.shadow ()
   in
   (* Walk the subtree rooted at the configuration [cursor] sits on.
      The first child extends the cursor in place (the incremental step
@@ -567,7 +584,8 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
     (* Sequential: one in-order walk from the root configuration. *)
     let st =
       new_state ~index:0 ?capacity:cache_capacity
-        ~sink:(Obs.sink obs ~index:0) ~progress:(Obs.progress obs) ()
+        ~sink:(Obs.sink obs ~index:0) ~progress:(Obs.progress obs) ~sanitize
+        ()
     in
     wire_progress obs [| st |] (fun () -> 0);
     let root = make_cursor st in
@@ -601,7 +619,7 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
           new_state ~index:i ?capacity:cache_capacity
             ~sink:(Obs.sink obs ~index:i)
             ~progress:(if i = 0 then progress else Progress.off)
-            ())
+            ~sanitize ())
     in
     wire_progress obs states (fun () -> Atomic.get shared.outstanding);
     let root_id = Atomic.fetch_and_add shared.next_item 1 in

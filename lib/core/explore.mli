@@ -110,6 +110,7 @@ val explore :
   ?symmetry:bool ->
   ?domains:int ->
   ?obs:Slx_obs.Obs.t ->
+  ?sanitize:bool ->
   check:(('inv, 'res) Run_report.t -> bool) ->
   unit ->
   ('inv, 'res) exploration
@@ -150,7 +151,17 @@ val explore :
     (work-stealing domains finish rank-lesser frontier items first, so
     the reported witness is still deterministic), so [stats] then
     reflects the work done up to (and while concurrently racing past)
-    the discovery. *)
+    the discovery.
+
+    [sanitize] (default [false]) installs a per-domain sanitizer
+    shadow ({!Slx_sim.Runtime.make_shadow}) on every cursor: physical
+    base-object accesses are checked against declared footprints and
+    mismatches counted into [stats.footprint_violations].  The shadow
+    neither raises nor records, so a sanitized exploration applies
+    exactly the decisions — and returns exactly the outcome, stats
+    (beyond [footprint_violations]) and witness — of an unsanitized
+    one.  For raising shadows with replayable witnesses use
+    {!Slx_analysis.Audit} instead. *)
 
 val explore_naive :
   n:int ->

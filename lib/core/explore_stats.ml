@@ -14,6 +14,9 @@ type t = {
   fair_cycles : int;
   domains_used : int;
   steals : int;
+  hb_edges : int;
+  commutation_checks : int;
+  footprint_violations : int;
   per_domain_runs : (int * int) list;
   per_domain_steps : (int * int) list;
   elapsed_ns : int;
@@ -38,6 +41,9 @@ let zero =
     fair_cycles = 0;
     domains_used = 0;
     steals = 0;
+    hb_edges = 0;
+    commutation_checks = 0;
+    footprint_violations = 0;
     per_domain_runs = [];
     per_domain_steps = [];
     elapsed_ns = 0;
@@ -70,6 +76,9 @@ let merge a b =
     fair_cycles = a.fair_cycles + b.fair_cycles;
     domains_used = max a.domains_used b.domains_used;
     steals = a.steals + b.steals;
+    hb_edges = a.hb_edges + b.hb_edges;
+    commutation_checks = a.commutation_checks + b.commutation_checks;
+    footprint_violations = a.footprint_violations + b.footprint_violations;
     per_domain_runs = by_index (a.per_domain_runs @ b.per_domain_runs);
     per_domain_steps = by_index (a.per_domain_steps @ b.per_domain_steps);
     elapsed_ns = a.elapsed_ns + b.elapsed_ns;
@@ -102,6 +111,11 @@ let pp fmt s =
   if s.cycles_examined > 0 || s.fair_cycles > 0 then
     Format.fprintf fmt "@,cycles:           %d examined, %d fair violating"
       s.cycles_examined s.fair_cycles;
+  if s.hb_edges > 0 || s.commutation_checks > 0 || s.footprint_violations > 0
+  then
+    Format.fprintf fmt
+      "@,sanitizer:        %d violations, %d hb edges, %d commutation checks"
+      s.footprint_violations s.hb_edges s.commutation_checks;
   if s.events_dropped > 0 then
     Format.fprintf fmt "@,telemetry:        %d events dropped (ring overflow)"
       s.events_dropped;
@@ -127,13 +141,16 @@ let to_json s =
      \"replays_avoided\": %d, \"cache_hits\": %d, \"cache_entries\": %d, \
      \"cache_evictions\": %d, \"por_sleeps\": %d, \"symmetry_pruned\": %d, \
      \"cycles_examined\": %d, \"fair_cycles\": %d, \
-     \"domains_used\": %d, \"steals\": %d, \"per_domain_runs\": %s, \
+     \"domains_used\": %d, \"steals\": %d, \"hb_edges\": %d, \
+     \"commutation_checks\": %d, \"footprint_violations\": %d, \
+     \"per_domain_runs\": %s, \
      \"per_domain_steps\": %s, \"elapsed_ns\": %d, \"events_dropped\": %d, \
      \"history_digest\": %d}"
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
     s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
     s.por_sleeps s.symmetry_pruned s.cycles_examined s.fair_cycles
-    s.domains_used s.steals
+    s.domains_used s.steals s.hb_edges s.commutation_checks
+    s.footprint_violations
     (json_pair_list s.per_domain_runs)
     (json_pair_list s.per_domain_steps)
     s.elapsed_ns s.events_dropped s.history_digest

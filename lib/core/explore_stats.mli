@@ -51,6 +51,21 @@ type t = {
   steals : int;
       (** Frontier items executed by a domain other than the one that
           pushed them (work-stealing fan-out; 0 when sequential). *)
+  hb_edges : int;
+      (** Happens-before certifier ({!Slx_analysis.Hb}) only:
+          non-redundant conflict edges derived from observed accesses
+          across certified runs (0 unless an audit ran the
+          certifier). *)
+  commutation_checks : int;
+      (** Commutation oracle only: pending-step pairs the explorer
+          would treat as commuting that were differentially executed
+          in both orders (0 unless the oracle ran). *)
+  footprint_violations : int;
+      (** Sanitizer violations observed ({!Runtime.shadow_violations}):
+          undeclared touches, escaping nested declarations, or
+          touches outside any atomic action.  Always 0 for a clean
+          implementation; engines running with [~sanitize:true] count
+          without raising. *)
   per_domain_runs : (int * int) list;
       (** Maximal runs accounted per domain, as
           [(spawn index, runs)] pairs sorted by spawn index (empty for

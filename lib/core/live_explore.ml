@@ -44,6 +44,7 @@ type ('inv, 'res) state = {
   mutable found : ('inv, 'res) Lasso.cert option;
   ticks : int ref;
   table : (('inv, 'res) key, unit) Clock_cache.t;
+  shadow : Runtime.shadow option;  (* non-raising: counts only *)
 }
 
 let zero_sample =
@@ -58,8 +59,8 @@ let zero_sample =
     s_domain_steps = [];
   }
 
-let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off) ()
-    =
+let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off)
+    ?(sanitize = false) () =
   {
     sink;
     progress;
@@ -75,6 +76,10 @@ let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off) ()
     found = None;
     ticks = ref 0;
     table = Clock_cache.create ?capacity ~sink ();
+    shadow =
+      (if sanitize then
+         Some (Runtime.make_shadow ~record:false ~raise_on_violation:false ())
+       else None);
   }
 
 (* Install the progress sample: the live search is sequential, so the
@@ -117,6 +122,10 @@ let stats_of_state ~elapsed_ns ~events_dropped st : Explore_stats.t =
     cycles_examined = st.cycles;
     fair_cycles = st.fair;
     domains_used = 1;
+    footprint_violations =
+      (match st.shadow with
+      | Some sh -> Runtime.shadow_violation_count sh
+      | None -> 0);
     elapsed_ns;
     events_dropped;
   }
@@ -239,14 +248,14 @@ let eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks ~blocked
 
 let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
     ?max_period ?pump_ticks ?(invoke_order = false) ?(cache = true)
-    ?cache_capacity ?(obs = Obs.disabled) () =
+    ?cache_capacity ?(obs = Obs.disabled) ?(sanitize = false) () =
   let t0 = Clock.now_ns () in
   let max_period = Option.value max_period ~default:(max 1 (depth / 2)) in
   let pump_ticks = Option.value pump_ticks ~default:(4 * depth) in
   let st =
     new_state ?capacity:cache_capacity
       ~sink:(Obs.sink obs ~index:0)
-      ~progress:(Obs.progress obs) ()
+      ~progress:(Obs.progress obs) ~sanitize ()
   in
   wire_progress st;
   let all_procs = Proc.all ~n in
@@ -353,7 +362,8 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                   else begin
                     let c =
                       Runner.Cursor.replay ~n ~factory:(factory ())
-                        ~ticks:st.ticks (List.rev rev_script)
+                        ~ticks:st.ticks ?shadow:st.shadow
+                        (List.rev rev_script)
                     in
                     st.replayed <- st.replayed + len;
                     c
@@ -374,7 +384,10 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
               decisions);
         Option.iter (fun k -> Clock_cache.replace st.table k ()) key
   in
-  let root = Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks () in
+  let root =
+    Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks
+      ?shadow:st.shadow ()
+  in
   let outcome =
     match visit root [] [] [] 0 0 with
     | () -> No_fair_cycle

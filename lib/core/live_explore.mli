@@ -91,6 +91,7 @@ val search :
   ?cache:bool ->
   ?cache_capacity:int ->
   ?obs:Slx_obs.Obs.t ->
+  ?sanitize:bool ->
   unit ->
   ('inv, 'res) result
 (** [search ~n ~factory ~invoke ~good ~point ~depth ()] explores every
@@ -117,7 +118,14 @@ val search :
     candidate (tagged fair-and-violating or not) and one pump span per
     validation attempt, closed with its verdict on every path.
     Verdicts and counters (other than [elapsed_ns]/[events_dropped])
-    are identical with tracing on or off. *)
+    are identical with tracing on or off.
+
+    [sanitize] (default [false]) installs a non-raising sanitizer
+    shadow on every search cursor (as in {!Explore.explore}):
+    footprint mismatches are counted into
+    [stats.footprint_violations] without changing any decision or
+    verdict.  Pump validation runs outside the shadow — it re-executes
+    an already-sanitized script on a fresh instance. *)
 
 val certify_run :
   n:int ->

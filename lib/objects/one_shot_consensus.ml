@@ -36,6 +36,8 @@ module Registers = struct
   type 'a t = {
     n : int;
     rounds : 'a round option array;  (* allocated on first use *)
+    allocated : int ref;  (* rounds allocated so far (prefix of [rounds]) *)
+    tbl : int;  (* footprint id of the allocation table *)
     decision : 'a option Register.t;
   }
 
@@ -48,21 +50,36 @@ module Registers = struct
     }
 
   let make ~n () =
+    (* The allocation table is shared mutable state: fingerprint it
+       (rounds are allocated in order, so the count characterizes it —
+       the registers themselves register their own readers) and give
+       it a footprint id so the lazy-allocation step can report its
+       accesses to the sanitizer. *)
+    let allocated = ref 0 in
     {
       n;
       rounds = Array.make max_rounds None;
+      allocated;
+      tbl = Slx_sim.Runtime.register_object (fun () -> !allocated);
       decision = Register.make None;
     }
 
   (* Lazily allocate round [r]; modelled as one atomic step so the
-     shared table mutation cannot be interleaved. *)
+     shared table mutation cannot be interleaved.  Kept [Opaque]
+     (rather than a declared write of [tbl]): allocation also runs the
+     nested [Register.make] registrations, and an opaque step's
+     conflict-with-everything is the sound declaration for that —
+     audits waive the resulting opaque-step lint. *)
   let round t r =
     Slx_sim.Runtime.atomic (fun () ->
+        Slx_sim.Runtime.touch ~obj:t.tbl ~write:false;
         match t.rounds.(r) with
         | Some round -> round
         | None ->
             let round = make_round t.n in
+            Slx_sim.Runtime.touch ~obj:t.tbl ~write:true;
             t.rounds.(r) <- Some round;
+            incr t.allocated;
             round)
 
   type 'a outcome = Commit of 'a | Adopt of 'a

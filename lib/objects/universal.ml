@@ -5,21 +5,43 @@ open Slx_history
 type 'inv entry = { owner : Proc.t; id : int; inv : 'inv }
 
 module Make_log (C : One_shot_consensus.S) = struct
-  type 'inv t = { n : int; slots : 'inv entry C.t option array }
+  type 'inv t = {
+    n : int;
+    slots : 'inv entry C.t option array;
+    allocated : int ref;  (* slots allocated so far *)
+    tbl : int;  (* footprint id of the allocation table *)
+  }
 
-  let make ~n ~max_ops = { n; slots = Array.make max_ops None }
+  let make ~n ~max_ops =
+    (* The slot table is shared mutable state: fingerprint its
+       allocation count (slots fill in order; the consensus objects
+       inside register their own readers) and give it a footprint id
+       so the lazy-allocation step reports to the sanitizer. *)
+    let allocated = ref 0 in
+    {
+      n;
+      slots = Array.make max_ops None;
+      allocated;
+      tbl = Slx_sim.Runtime.register_object (fun () -> !allocated);
+    }
 
   (* Lazily allocate slot [i]; one atomic step, so the shared table
-     mutation cannot be interleaved. *)
+     mutation cannot be interleaved.  Kept [Opaque]: allocation runs
+     the nested consensus-object constructor (registrations included),
+     for which conflict-with-everything is the sound declaration —
+     audits waive the resulting opaque-step lint. *)
   let slot t i =
     if i >= Array.length t.slots then
       failwith "Universal: log exhausted (raise max_ops)";
     Slx_sim.Runtime.atomic (fun () ->
+        Slx_sim.Runtime.touch ~obj:t.tbl ~write:false;
         match t.slots.(i) with
         | Some c -> c
         | None ->
             let c = C.make ~n:t.n () in
+            Slx_sim.Runtime.touch ~obj:t.tbl ~write:true;
             t.slots.(i) <- Some c;
+            incr t.allocated;
             c)
 
   let decide t i ~proc entry = C.propose (slot t i) ~proc entry

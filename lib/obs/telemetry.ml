@@ -12,6 +12,8 @@ type kind =
   | Cycle_candidate
   | Pump_start
   | Pump_verdict
+  | Sanitizer_violation
+  | Hb_edge
 
 let kind_name = function
   | Node_enter -> "node_enter"
@@ -27,6 +29,8 @@ let kind_name = function
   | Cycle_candidate -> "cycle_candidate"
   | Pump_start -> "pump_start"
   | Pump_verdict -> "pump_verdict"
+  | Sanitizer_violation -> "sanitizer_violation"
+  | Hb_edge -> "hb_edge"
 
 type event = {
   ev_ns : int;

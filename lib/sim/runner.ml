@@ -24,11 +24,19 @@ module Cursor = struct
     step_counts : int array;
     mutable crashed : Proc.Set.t;
     ticks : int ref;
+    shadow : Runtime.shadow option;
   }
 
-  let create ~n ~factory ?(ticks = ref 0) () =
+  let create ~n ~factory ?(ticks = ref 0) ?shadow () =
     let registry = Runtime.fresh_registry () in
-    let impl = Runtime.with_registry registry (fun () -> factory ~n) in
+    let with_shadow f =
+      match shadow with None -> f () | Some sh -> Runtime.with_shadow sh f
+    in
+    (* The factory runs under the shadow too: constructors that touch
+       shared cells outside any atomic action should be caught. *)
+    let impl =
+      with_shadow (fun () -> Runtime.with_registry registry (fun () -> factory ~n))
+    in
     {
       n;
       impl;
@@ -41,6 +49,7 @@ module Cursor = struct
       step_counts = Array.make (n + 1) 0;
       crashed = Proc.Set.empty;
       ticks;
+      shadow;
     }
 
   let cell c p =
@@ -62,7 +71,7 @@ module Cursor = struct
     c.history <- History.append c.history e;
     c.rev_event_times <- c.time :: c.rev_event_times
 
-  let apply c d =
+  let apply_body c d =
     (* Implementations may allocate base objects lazily, mid-run; keep
        the cursor's registry current while algorithm code executes so
        such objects are fingerprinted too. *)
@@ -87,8 +96,13 @@ module Cursor = struct
         c.time <- c.time + 1;
         incr c.ticks)
 
-  let replay ~n ~factory ?ticks decisions =
-    let c = create ~n ~factory ?ticks () in
+  let apply c d =
+    match c.shadow with
+    | None -> apply_body c d
+    | Some sh -> Runtime.with_shadow sh (fun () -> apply_body c d)
+
+  let replay ~n ~factory ?ticks ?shadow decisions =
+    let c = create ~n ~factory ?ticks ?shadow () in
     List.iter (apply c) decisions;
     c
 

@@ -52,12 +52,20 @@ module Cursor : sig
     n:int ->
     factory:('inv, 'res) factory ->
     ?ticks:int ref ->
+    ?shadow:Runtime.shadow ->
     unit ->
     ('inv, 'res) t
   (** A cursor at the initial configuration of a fresh implementation
       instance.  [ticks] (default: a private counter) is incremented on
       every applied decision — explorers share one counter across many
-      cursors to measure runtime steps executed. *)
+      cursors to measure runtime steps executed.
+
+      [shadow] installs a sanitizer shadow ({!Runtime.make_shadow})
+      around the factory call and around every {!apply}: all base-object
+      cell accesses made while this cursor executes algorithm code are
+      checked (and, in record mode, logged) against declared footprints.
+      A raising shadow propagates {!Runtime.Shadow_violation} out of
+      [apply]; the cursor must then be abandoned. *)
 
   val view : ('inv, 'res) t -> ('inv, 'res) Driver.view
   (** The driver-visible view of the current configuration. *)
@@ -77,6 +85,7 @@ module Cursor : sig
     n:int ->
     factory:('inv, 'res) factory ->
     ?ticks:int ref ->
+    ?shadow:Runtime.shadow ->
     ('inv, 'res) Driver.decision list ->
     ('inv, 'res) t
   (** [replay ~n ~factory decisions] creates a fresh cursor and applies

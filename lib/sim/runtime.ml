@@ -1,23 +1,77 @@
 open Effect
 open Effect.Deep
 
-(* The access footprint of a pending atomic action: which base object
-   it touches and whether it may write it.  [Opaque] (the legacy
+(* One declared (or observed) access to a base object: which object and
+   whether it may be (was) written. *)
+type access = { obj : int; write : bool }
+
+(* The access footprint of a pending atomic action: which base objects
+   it touches and whether it may write them.  [Opaque] (the legacy
    [atomic]) conflicts with everything; base objects declare precise
    footprints so the exploration engine can recognize commuting steps
    (partial-order reduction). *)
-type footprint = Opaque | Access of { obj : int; write : bool }
+type footprint = Opaque | Access of access | Multi of access list
 
-type _ Effect.t += Atomic : footprint * (unit -> 'a) -> 'a Effect.t
+(* Canonical access-list form: one entry per object (write = the OR of
+   the merged entries), sorted by object id. *)
+let normalize accs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt tbl a.obj with
+      | None -> Hashtbl.add tbl a.obj a.write
+      | Some w -> Hashtbl.replace tbl a.obj (w || a.write))
+    accs;
+  Hashtbl.fold (fun obj write acc -> { obj; write } :: acc) tbl []
+  |> List.sort (fun a b -> compare a.obj b.obj)
 
-let atomic f = perform (Atomic (Opaque, f))
-let atomic_access ~obj ~write f = perform (Atomic (Access { obj; write }, f))
+let accesses = function
+  | Opaque -> None
+  | Access a -> Some [ a ]
+  | Multi accs -> Some accs
+
+let of_accesses accs =
+  match normalize accs with [ a ] -> Access a | accs -> Multi accs
+
+let union a b =
+  match (a, b) with
+  | Opaque, _ | _, Opaque -> Opaque
+  | a, b ->
+      (* [accesses] is total on non-Opaque footprints. *)
+      of_accesses (Option.get (accesses a) @ Option.get (accesses b))
+
+let conflict a b = a.obj = b.obj && (a.write || b.write)
 
 let footprints_commute a b =
-  match (a, b) with
-  | Access { obj = o1; write = w1 }, Access { obj = o2; write = w2 } ->
-      o1 <> o2 || ((not w1) && not w2)
-  | Opaque, _ | _, Opaque -> false
+  match (accesses a, accesses b) with
+  | Some la, Some lb ->
+      not (List.exists (fun x -> List.exists (conflict x) lb) la)
+  | None, _ | _, None -> false
+
+let covers outer inner =
+  match (accesses outer, accesses inner) with
+  | None, _ -> true (* Opaque claims everything *)
+  | Some _, None -> false (* only Opaque covers Opaque *)
+  | Some lo, Some li ->
+      List.for_all
+        (fun a ->
+          List.exists (fun b -> b.obj = a.obj && (b.write || not a.write)) lo)
+        li
+
+let pp_access fmt a =
+  Format.fprintf fmt "%c%d" (if a.write then 'W' else 'R') a.obj
+
+let pp_footprint fmt = function
+  | Opaque -> Format.pp_print_string fmt "opaque"
+  | Access a -> pp_access fmt a
+  | Multi accs ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+           pp_access)
+        accs
+
+type _ Effect.t += Atomic : footprint * (unit -> 'a) -> 'a Effect.t
 
 exception Killed
 
@@ -91,6 +145,275 @@ let registry_digest (reg : registry) =
     reg.readers
 
 (* ------------------------------------------------------------------ *)
+(* Shadow state: the conflict-soundness sanitizer.
+
+   POR trusts each pending action's declared footprint; the sanitizer
+   checks that trust dynamically.  Instrumented base objects report
+   every physical cell access through [touch]; the domain-local frame
+   tracks the footprint of the atomic action in flight, and an
+   installed shadow records/validates the touches against it.
+
+   The frame is maintained even with no shadow installed, because it
+   also implements nested-atomic composition: an [atomic]/
+   [atomic_access] call made while an atomic action is already
+   executing runs inline (it cannot suspend again — the scheduler is
+   mid-grant) and its declared footprint is folded into the step's
+   effective footprint. *)
+
+type frame = {
+  mutable fr_depth : int;  (* nesting depth of in-flight atomic code *)
+  mutable fr_pending : footprint;  (* declared at suspension (POR-visible) *)
+  mutable fr_eff : footprint;  (* pending ∪ nested declarations *)
+  mutable fr_touched : access list;  (* physical touches, reverse order *)
+}
+
+let frame_key : frame Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { fr_depth = 0; fr_pending = Opaque; fr_eff = Opaque; fr_touched = [] })
+
+type violation_kind = Undeclared_touch | Undeclared_nesting | Outside_atomic
+
+type violation = {
+  v_kind : violation_kind;
+  v_obj : int;
+  v_write : bool;
+  v_pending : footprint;
+  v_step : int;
+}
+
+exception Shadow_violation of violation
+
+let pp_violation fmt v =
+  match v.v_kind with
+  | Undeclared_touch ->
+      Format.fprintf fmt
+        "undeclared %s of object %d at shadow step %d (declared: %a)"
+        (if v.v_write then "write" else "read")
+        v.v_obj v.v_step pp_footprint v.v_pending
+  | Undeclared_nesting ->
+      Format.fprintf fmt
+        "nested declaration escapes the pending footprint at shadow step %d \
+         (escaping: %s object %d, declared: %a)"
+        v.v_step
+        (if v.v_write then "write" else "read")
+        v.v_obj pp_footprint v.v_pending
+  | Outside_atomic ->
+      Format.fprintf fmt
+        "%s of object %d outside any atomic action (shadow step %d)"
+        (if v.v_write then "write" else "read")
+        v.v_obj v.v_step
+
+type decl_stat = {
+  decl_steps : int;
+  touched_steps : int;
+  write_decl_steps : int;
+  wrote_steps : int;
+}
+
+(* Internal mutable accumulator behind [decl_stat]. *)
+type mstat = {
+  mutable ms_decl : int;
+  mutable ms_touched : int;
+  mutable ms_wdecl : int;
+  mutable ms_wrote : int;
+}
+
+type step_log = {
+  declared : footprint;
+  effective : footprint;
+  touched : access list;
+}
+
+type shadow = {
+  sh_record : bool;
+  sh_raise : bool;
+  mutable sh_steps : int;
+  mutable sh_log : step_log list;  (* reverse order *)
+  mutable sh_violations : violation list;  (* reverse order *)
+  sh_decls : (int, mstat) Hashtbl.t;
+  mutable sh_opaque : int;
+}
+
+let make_shadow ?(record = false) ?(raise_on_violation = true) () =
+  {
+    sh_record = record;
+    sh_raise = raise_on_violation;
+    sh_steps = 0;
+    sh_log = [];
+    sh_violations = [];
+    sh_decls = Hashtbl.create 16;
+    sh_opaque = 0;
+  }
+
+let current_shadow : shadow option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_shadow sh f =
+  let slot = Domain.DLS.get current_shadow in
+  let saved = !slot in
+  slot := Some sh;
+  match f () with
+  | x ->
+      slot := saved;
+      x
+  | exception e ->
+      slot := saved;
+      raise e
+
+let shadow_violations sh = List.rev sh.sh_violations
+let shadow_violation_count sh = List.length sh.sh_violations
+let shadow_steps sh = List.rev sh.sh_log
+let shadow_step_count sh = sh.sh_steps
+let shadow_opaque_steps sh = sh.sh_opaque
+
+let shadow_decl_stats sh =
+  Hashtbl.fold
+    (fun obj ms acc ->
+      ( obj,
+        {
+          decl_steps = ms.ms_decl;
+          touched_steps = ms.ms_touched;
+          write_decl_steps = ms.ms_wdecl;
+          wrote_steps = ms.ms_wrote;
+        } )
+      :: acc)
+    sh.sh_decls []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let violate sh v =
+  sh.sh_violations <- v :: sh.sh_violations;
+  if sh.sh_raise then raise (Shadow_violation v)
+
+let touch ~obj ~write =
+  match !(Domain.DLS.get current_shadow) with
+  | None -> ()
+  | Some sh ->
+      let fr = Domain.DLS.get frame_key in
+      if fr.fr_depth = 0 then
+        violate sh
+          {
+            v_kind = Outside_atomic;
+            v_obj = obj;
+            v_write = write;
+            v_pending = Opaque;
+            v_step = sh.sh_steps;
+          }
+      else begin
+        fr.fr_touched <- { obj; write } :: fr.fr_touched;
+        if not (covers fr.fr_eff (Access { obj; write })) then
+          violate sh
+            {
+              v_kind = Undeclared_touch;
+              v_obj = obj;
+              v_write = write;
+              v_pending = fr.fr_pending;
+              v_step = sh.sh_steps;
+            }
+      end
+
+(* Step bracketing: [enter_step] as a grant begins executing its
+   pending action, [leave_step] when the action's body returns (or
+   raises) — crucially {e before} the continuation is resumed, because
+   the continuation runs up to the process's next suspension inside
+   the same dynamic extent. *)
+let enter_step fr fp =
+  fr.fr_depth <- 1;
+  fr.fr_pending <- fp;
+  fr.fr_eff <- fp;
+  fr.fr_touched <- []
+
+let leave_step fr =
+  fr.fr_depth <- 0;
+  (match !(Domain.DLS.get current_shadow) with
+  | None -> ()
+  | Some sh ->
+      let touched = List.rev fr.fr_touched in
+      (match accesses fr.fr_pending with
+      | None -> sh.sh_opaque <- sh.sh_opaque + 1
+      | Some decl ->
+          List.iter
+            (fun (a : access) ->
+              let ms =
+                match Hashtbl.find_opt sh.sh_decls a.obj with
+                | Some ms -> ms
+                | None ->
+                    let ms =
+                      { ms_decl = 0; ms_touched = 0; ms_wdecl = 0; ms_wrote = 0 }
+                    in
+                    Hashtbl.add sh.sh_decls a.obj ms;
+                    ms
+              in
+              ms.ms_decl <- ms.ms_decl + 1;
+              if List.exists (fun (t : access) -> t.obj = a.obj) touched then
+                ms.ms_touched <- ms.ms_touched + 1;
+              if a.write then begin
+                ms.ms_wdecl <- ms.ms_wdecl + 1;
+                if
+                  List.exists
+                    (fun (t : access) -> t.obj = a.obj && t.write)
+                    touched
+                then ms.ms_wrote <- ms.ms_wrote + 1
+              end)
+            decl);
+      if sh.sh_record then
+        sh.sh_log <-
+          { declared = fr.fr_pending; effective = fr.fr_eff; touched }
+          :: sh.sh_log;
+      sh.sh_steps <- sh.sh_steps + 1);
+  fr.fr_touched <- []
+
+(* A nested atomic call: runs inline, folds its declaration into the
+   effective footprint, and — under a shadow — checks that the nested
+   declaration does not escape the POR-visible pending footprint (the
+   explorer decided commutation before the nested call could be
+   known). *)
+let enter_nested fr fp =
+  (match !(Domain.DLS.get current_shadow) with
+  | None -> ()
+  | Some sh ->
+      if not (covers fr.fr_pending fp) then begin
+        let v_obj, v_write =
+          match accesses fp with
+          | None -> (min_int, true)  (* a nested [atomic]: opaque *)
+          | Some accs -> (
+              match
+                List.find_opt
+                  (fun a -> not (covers fr.fr_pending (Access a)))
+                  accs
+              with
+              | Some a -> (a.obj, a.write)
+              | None -> (min_int, true))
+        in
+        violate sh
+          {
+            v_kind = Undeclared_nesting;
+            v_obj;
+            v_write;
+            v_pending = fr.fr_pending;
+            v_step = sh.sh_steps;
+          }
+      end);
+  fr.fr_eff <- union fr.fr_eff fp;
+  fr.fr_depth <- fr.fr_depth + 1
+
+let atomic_with fp f =
+  let fr = Domain.DLS.get frame_key in
+  if fr.fr_depth > 0 then begin
+    enter_nested fr fp;
+    match f () with
+    | v ->
+        fr.fr_depth <- fr.fr_depth - 1;
+        v
+    | exception e ->
+        fr.fr_depth <- fr.fr_depth - 1;
+        raise e
+  end
+  else perform (Atomic (fp, f))
+
+let atomic f = atomic_with Opaque f
+let atomic_access ~obj ~write f = atomic_with (Access { obj; write }) f
+
+(* ------------------------------------------------------------------ *)
 (* Cells.                                                              *)
 
 (* A suspended process is a pair of one-shot closures sharing a [used]
@@ -136,7 +459,21 @@ let handler cell =
                 let resume () =
                   if !used then invalid_arg "Runtime: continuation reused";
                   used := true;
-                  let v = f () in
+                  (* Bracket the action body — not the continuation:
+                     [continue k v] below runs the process up to its
+                     next suspension inside this call, and that code
+                     is between atomic steps (local by contract). *)
+                  let fr = Domain.DLS.get frame_key in
+                  enter_step fr fp;
+                  let v =
+                    match f () with
+                    | v ->
+                        leave_step fr;
+                        v
+                    | exception e ->
+                        leave_step fr;
+                        raise e
+                  in
                   (* The local state of the process after this step is a
                      deterministic function of its invocations (recorded
                      in the history) and the results of its atomic

@@ -19,7 +19,9 @@ val atomic : (unit -> 'a) -> 'a
     with its result.
 
     Must be called from code running under {!spawn}; otherwise raises
-    [Effect.Unhandled]. *)
+    [Effect.Unhandled].  Called while an atomic action is already
+    executing (a {e nested} atomic), it runs [f] inline instead — see
+    {!atomic_access} for the footprint-composition semantics. *)
 
 (** {1 Access footprints}
 
@@ -30,26 +32,180 @@ val atomic : (unit -> 'a) -> 'a
     configuration.  A footprint declares, before the action runs, what
     it may touch. *)
 
+type access = { obj : int; write : bool }
+(** One declared (or physically observed) access: the base object with
+    id [obj], written iff [write]. *)
+
 (** The declared footprint of a pending atomic action. *)
 type footprint =
   | Opaque
       (** Undeclared (the plain {!atomic}); conservatively conflicts
           with every other action. *)
-  | Access of { obj : int; write : bool }
+  | Access of access
       (** Touches the base object with id [obj]; [write] says the
           action may modify it.  Object granularity: an action on a
           multi-slot object (e.g. a snapshot segment update) declares
           the whole object. *)
+  | Multi of access list
+      (** Touches several objects (e.g. the union of nested
+          declarations).  Canonical form: one access per object,
+          sorted by id — build with {!union}/{!of_accesses}, do not
+          construct raw. *)
 
 val atomic_access : obj:int -> write:bool -> (unit -> 'a) -> 'a
 (** {!atomic} with a declared footprint: one atomic step on base
     object [obj], writing iff [write].  Base-object modules obtain
-    [obj] from {!register_object}. *)
+    [obj] from {!register_object}.
+
+    {b Nesting.}  Called while an atomic action is already executing
+    (i.e. from inside the [f] of an outer [atomic]/[atomic_access]),
+    the call does not suspend again — the scheduler is mid-grant — but
+    runs [f] inline as part of the same step, and its declared
+    footprint is folded ({!union}) into the step's {e effective}
+    footprint.  The POR-visible footprint of the step remains the
+    outer ({e pending}) declaration; a shadow ({!make_shadow}) reports
+    a nested declaration not {!covers}-contained in it as an
+    {!Undeclared_nesting} violation, since the explorer committed to
+    commutation decisions before the nested call could be known. *)
 
 val footprints_commute : footprint -> footprint -> bool
 (** Whether two pending actions with these footprints commute: both
-    declared, and on different objects or both reads of the same
-    object.  [Opaque] commutes with nothing (sound default). *)
+    declared, and no object is accessed by both with at least one of
+    the two accesses a write.  [Opaque] commutes with nothing (sound
+    default). *)
+
+val accesses : footprint -> access list option
+(** The access list of a declared footprint in canonical form ([None]
+    for [Opaque]). *)
+
+val of_accesses : access list -> footprint
+(** The declared footprint touching exactly these accesses
+    (normalized: merged per object, sorted).  [of_accesses []] touches
+    nothing and commutes with every declared footprint. *)
+
+val union : footprint -> footprint -> footprint
+(** Footprint join: [union a b] covers everything [a] or [b] covers.
+    [Opaque] is absorbing. *)
+
+val covers : footprint -> footprint -> bool
+(** [covers outer inner]: every access [inner] may make is allowed by
+    [outer] (same object declared, and writing only if [outer]
+    declares the write).  [Opaque] covers everything; only [Opaque]
+    covers [Opaque]. *)
+
+val pp_footprint : Format.formatter -> footprint -> unit
+(** [R3], [W7], [{R3 W7}], or [opaque]. *)
+
+(** {1 Shadow state: the conflict-soundness sanitizer}
+
+    POR and the transposition cache trust declared footprints; a
+    {e shadow} checks that trust dynamically.  Instrumented base
+    objects ({!Slx_base_objects}) report every physical cell access
+    through {!touch}; while a shadow is installed ({!with_shadow}),
+    each touch is validated against the footprint of the atomic action
+    in flight:
+
+    - a touch not covered by the effective footprint is an
+      {!Undeclared_touch} violation (the under-declaration that would
+      make sleep-set pruning unsound);
+    - a nested atomic declaration escaping the pending footprint is an
+      {!Undeclared_nesting} violation;
+    - a touch with no atomic action in flight is an {!Outside_atomic}
+      violation (shared mutation outside the step semantics).
+
+    The shadow also aggregates per-object declaration statistics
+    ({!shadow_decl_stats}) from which {!Slx_analysis.Audit} derives
+    over-declaration lints, and (in record mode) a per-step log
+    consumed by the happens-before certifier {!Slx_analysis.Hb}.
+
+    With no shadow installed, {!touch} is one domain-local read and a
+    branch — engines not sanitizing pay essentially nothing. *)
+
+type violation_kind =
+  | Undeclared_touch
+      (** A physical access outside the step's effective footprint. *)
+  | Undeclared_nesting
+      (** A nested atomic declaration not covered by the pending
+          footprint. *)
+  | Outside_atomic
+      (** A physical access with no atomic action in flight. *)
+
+type violation = {
+  v_kind : violation_kind;
+  v_obj : int;
+      (** The offending object id ([min_int] for an
+          [Undeclared_nesting] whose nested footprint is [Opaque]). *)
+  v_write : bool;
+  v_pending : footprint;
+      (** The POR-visible declaration of the step ([Opaque] for
+          [Outside_atomic]). *)
+  v_step : int;  (** Shadow step ordinal (grants finalized so far). *)
+}
+
+exception Shadow_violation of violation
+(** Raised by {!touch} (out of the offending grant) when the shadow
+    was created with [raise_on_violation].  The run cannot be resumed
+    past it: abandon the cursor and replay the witness prefix. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type shadow
+
+val make_shadow : ?record:bool -> ?raise_on_violation:bool -> unit -> shadow
+(** A fresh shadow.  [record] (default [false]) keeps a per-step log
+    ({!shadow_steps}) for happens-before certification;
+    [raise_on_violation] (default [true]) makes the first violation
+    raise {!Shadow_violation} — with it off, violations are only
+    counted and listed (the mode engines use, so sanitizing changes no
+    outcome). *)
+
+val with_shadow : shadow -> (unit -> 'a) -> 'a
+(** [with_shadow sh f] runs [f] with [sh] installed as the current
+    (domain-local) shadow, restoring the previous one afterwards,
+    exceptions included. *)
+
+val touch : obj:int -> write:bool -> unit
+(** Called by instrumented base-object primitives at every physical
+    cell access.  No-op unless a shadow is installed. *)
+
+(** {2 Shadow reports} *)
+
+type step_log = {
+  declared : footprint;  (** The pending (POR-visible) declaration. *)
+  effective : footprint;  (** [declared] ∪ nested declarations. *)
+  touched : access list;  (** Physical touches, in program order. *)
+}
+
+type decl_stat = {
+  decl_steps : int;
+      (** Steps whose pending footprint declared the object. *)
+  touched_steps : int;  (** … of which physically touched it. *)
+  write_decl_steps : int;  (** Steps declaring a write of the object. *)
+  wrote_steps : int;  (** … of which physically wrote it. *)
+}
+
+val shadow_violations : shadow -> violation list
+(** All violations observed, in order. *)
+
+val shadow_violation_count : shadow -> int
+
+val shadow_steps : shadow -> step_log list
+(** The per-step log, in grant order (empty unless [record]). *)
+
+val shadow_step_count : shadow -> int
+(** Grants finalized under this shadow (counted in every mode). *)
+
+val shadow_opaque_steps : shadow -> int
+(** Steps whose pending footprint was [Opaque] — invisible to the race
+    detector (everything is allowed) and to POR (they commute with
+    nothing), so audits report them as a lint. *)
+
+val shadow_decl_stats : shadow -> (int * decl_stat) list
+(** Per-object declaration statistics, sorted by object id.  An object
+    with [touched_steps = 0] over a whole audit sweep was declared but
+    never touched (over-declaration: needless conflicts cost POR
+    pruning); [write_decl_steps > 0, wrote_steps = 0] likewise for
+    writes. *)
 
 exception Killed
 (** Raised inside a process's computation when the process is crashed

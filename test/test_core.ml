@@ -569,6 +569,9 @@ let test_stats_merge_out_of_order () =
       domains_used = 3;
       elapsed_ns = 10;
       events_dropped = index;
+      hb_edges = runs;
+      commutation_checks = steps;
+      footprint_violations = index;
       per_domain_runs = [ (index, runs) ];
       per_domain_steps = [ (index, steps) ];
     }
@@ -592,6 +595,11 @@ let test_stats_merge_out_of_order () =
   check_int "scalar counters merge pointwise" 15 scrambled.Explore_stats.runs;
   check_int "elapsed sums" 30 scrambled.Explore_stats.elapsed_ns;
   check_int "drops sum" 3 scrambled.Explore_stats.events_dropped;
+  check_int "hb edges sum" 15 scrambled.Explore_stats.hb_edges;
+  check_int "commutation checks sum" 150
+    scrambled.Explore_stats.commutation_checks;
+  check_int "footprint violations sum" 3
+    scrambled.Explore_stats.footprint_violations;
   Alcotest.(check (list int))
     "values strips the indices in spawn order" [ 50; 70; 30 ]
     (Explore_stats.values scrambled.Explore_stats.per_domain_steps)
