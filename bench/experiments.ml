@@ -613,7 +613,7 @@ let e16_exhaustive_verification () =
     reduced.Explore.stats.Explore_stats.steps_executed
     (float_of_int plain.Explore.stats.Explore_stats.steps_executed
     /. float_of_int (max 1 reduced.Explore.stats.Explore_stats.steps_executed))
-    reduced.Explore.stats.Explore_stats.por_sleeps
+    reduced.Explore.stats.Explore_stats.por_prunes
     reduced.Explore.stats.Explore_stats.symmetry_pruned
     reduced.Explore.stats.Explore_stats.runs
     plain.Explore.stats.Explore_stats.runs;

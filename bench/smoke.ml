@@ -65,9 +65,9 @@ let explore_reduced ~impl ~factory ~depth ~max_crashes =
   Printf.printf
     "  {\"case\": \"%s-depth-%d-crashes-%d\", \"incremental_steps\": %d, \
      \"reduced_steps\": %d, \"ratio\": %.2f, \"representative_runs\": %d, \
-     \"por_sleeps\": %d, \"symmetry_pruned\": %d}\n"
+     \"por_prunes\": %d, \"symmetry_pruned\": %d}\n"
     impl depth max_crashes (steps inc) (steps red) ratio (runs red)
-    st.Slx_core.Explore_stats.por_sleeps
+    st.Slx_core.Explore_stats.por_prunes
     st.Slx_core.Explore_stats.symmetry_pruned;
   let agree = safe inc = safe red in
   if not agree then
@@ -75,6 +75,36 @@ let explore_reduced ~impl ~factory ~depth ~max_crashes =
       "  SMOKE FAILURE: reduced engine verdict differs (safe %b vs %b)\n"
       (safe inc) (safe red);
   (ratio, agree)
+
+(* The dynamic reduction (observed-access DPOR) against the plain
+   incremental engine on the same instance: observed accesses refine
+   declared footprints, so DPOR must prune at least as hard as the
+   declaration-based sleep sets while agreeing on the verdict.  These
+   are the BENCH_explore.json "dpor" step rows. *)
+let explore_dpor ~impl ~factory ~depth ~max_crashes =
+  let inc =
+    Slx_core.Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth
+      ~max_crashes ~check ()
+  in
+  let red =
+    Slx_core.Explore.explore ~n:2 ~factory ~invoke:one_proposal ~depth
+      ~max_crashes ~dpor:true ~check ()
+  in
+  let ratio = float_of_int (steps inc) /. float_of_int (max 1 (steps red)) in
+  let st = red.Slx_core.Explore.stats in
+  Printf.printf
+    "  {\"case\": \"%s-depth-%d-crashes-%d\", \"incremental_steps\": %d, \
+     \"dpor_steps\": %d, \"ratio\": %.2f, \"representative_runs\": %d, \
+     \"por_prunes\": %d, \"race_reversals\": %d}\n"
+    impl depth max_crashes (steps inc) (steps red) ratio (runs red)
+    st.Slx_core.Explore_stats.por_prunes
+    st.Slx_core.Explore_stats.race_reversals;
+  let agree = safe inc = safe red in
+  if not agree then
+    Printf.printf
+      "  SMOKE FAILURE: dpor engine verdict differs (safe %b vs %b)\n"
+      (safe inc) (safe red);
+  (ratio, agree && steps red <= steps inc)
 
 (* The fair-cycle search on the Theorem 5.2 split: the (1,2) lasso must
    be found and (1,1) must come back clean under a solo window, with
@@ -122,6 +152,90 @@ let live_smoke () =
       "  SMOKE FAILURE: Theorem 5.2 split not reproduced ((1,2) %s, (1,1) %s)\n"
       o12 o11;
   ok
+
+(* The cycle-proviso DPOR legs: the same two live instances, reduced.
+   The (1,1) no-fair-cycle leg is the headline acceptance bar — the
+   reduction must cut BOTH nodes and steps by at least 3x while
+   reproducing the clean verdict; the (1,2) leg must emit the
+   byte-identical lex-least lasso certificate.  These are the
+   BENCH_explore.json "dpor" live rows. *)
+let live_dpor_smoke () =
+  Printf.printf "== bench smoke: cycle-proviso DPOR (live explorer) ==\n";
+  let factory () = Slx_consensus.Register_consensus.factory ~max_rounds:16 () in
+  let invoke =
+    Slx_core.Explore.workload_invoke
+      (Driver.forever (fun p -> Slx_consensus.Consensus_type.Propose (p - 1)))
+  in
+  let good (_ : Slx_consensus.Consensus_type.response) = true in
+  let search ~reduce ~point ~depth ~max_crashes =
+    Slx_core.Live_explore.search ~n:2 ~factory ~invoke ~good ~point ~depth
+      ~max_crashes ~dpor:reduce ~invoke_order:reduce ()
+  in
+  let nodes r = r.Slx_core.Live_explore.stats.Slx_core.Explore_stats.nodes in
+  let lsteps r =
+    r.Slx_core.Live_explore.stats.Slx_core.Explore_stats.steps_executed
+  in
+  let row ~name base red =
+    let st = red.Slx_core.Live_explore.stats in
+    let node_ratio =
+      float_of_int (nodes base) /. float_of_int (max 1 (nodes red))
+    in
+    let step_ratio =
+      float_of_int (lsteps base) /. float_of_int (max 1 (lsteps red))
+    in
+    Printf.printf
+      "  {\"case\": %S, \"baseline_nodes\": %d, \"dpor_nodes\": %d, \
+       \"baseline_steps\": %d, \"dpor_steps\": %d, \"node_ratio\": %.2f, \
+       \"step_ratio\": %.2f, \"race_reversals\": %d, \"proviso_wakes\": %d, \
+       \"invoke_order_prunes\": %d}\n"
+      name (nodes base) (nodes red) (lsteps base) (lsteps red) node_ratio
+      step_ratio st.Slx_core.Explore_stats.race_reversals
+      st.Slx_core.Explore_stats.proviso_wakes
+      st.Slx_core.Explore_stats.invoke_order_prunes;
+    (node_ratio, step_ratio)
+  in
+  (* The (1,1) clean leg under a solo window. *)
+  let point11 = Slx_liveness.Freedom.obstruction_freedom in
+  let base11 = search ~reduce:false ~point:point11 ~depth:8 ~max_crashes:1 in
+  let red11 = search ~reduce:true ~point:point11 ~depth:8 ~max_crashes:1 in
+  let clean r =
+    match r.Slx_core.Live_explore.outcome with
+    | Slx_core.Live_explore.No_fair_cycle -> true
+    | Slx_core.Live_explore.Lasso _ -> false
+  in
+  let node_ratio, step_ratio =
+    row ~name:"register-live-(1,1)-depth-8-crashes-1-dpor" base11 red11
+  in
+  let verdict11 = clean base11 && clean red11 in
+  if not verdict11 then
+    Printf.printf "  SMOKE FAILURE: DPOR broke the (1,1) clean verdict\n";
+  (* The (1,2) lasso leg: byte-identical certificate. *)
+  let point12 = Slx_liveness.Freedom.make ~l:1 ~k:2 in
+  let base12 = search ~reduce:false ~point:point12 ~depth:8 ~max_crashes:0 in
+  let red12 = search ~reduce:true ~point:point12 ~depth:8 ~max_crashes:0 in
+  ignore (row ~name:"register-live-(1,2)-depth-8-dpor" base12 red12);
+  let cert_identical =
+    match
+      (base12.Slx_core.Live_explore.outcome, red12.Slx_core.Live_explore.outcome)
+    with
+    | Slx_core.Live_explore.Lasso a, Slx_core.Live_explore.Lasso b ->
+        a.Slx_liveness.Lasso.c_stem = b.Slx_liveness.Lasso.c_stem
+        && a.Slx_liveness.Lasso.c_cycle = b.Slx_liveness.Lasso.c_cycle
+        && a.Slx_liveness.Lasso.c_cells = b.Slx_liveness.Lasso.c_cells
+    | _ -> false
+  in
+  if not cert_identical then
+    Printf.printf
+      "  SMOKE FAILURE: DPOR (1,2) lasso certificate differs from baseline\n";
+  let ok =
+    verdict11 && cert_identical && node_ratio >= 3.0 && step_ratio >= 3.0
+  in
+  if not (node_ratio >= 3.0 && step_ratio >= 3.0) then
+    Printf.printf
+      "  SMOKE FAILURE: DPOR live reduction below the 3x bar (nodes %.2fx, \
+       steps %.2fx)\n"
+      node_ratio step_ratio;
+  (ok, node_ratio, step_ratio)
 
 (* Observability smoke: one traced fair-cycle search and one traced
    2-domain exploration, exported to Chrome trace-event JSON, re-parsed
@@ -356,19 +470,47 @@ let run () =
       ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
       ~depth:10 ~max_crashes:0
   in
+  Printf.printf "== bench smoke: observed-access DPOR vs plain incremental ==\n";
+  let dpor_cas0 =
+    explore_dpor ~impl:"cas"
+      ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+      ~depth:8 ~max_crashes:0
+  in
+  let dpor_cas1 =
+    explore_dpor ~impl:"cas"
+      ~factory:(fun () -> Slx_consensus.Cas_consensus.factory ())
+      ~depth:8 ~max_crashes:1
+  in
+  let dpor_reg8 =
+    explore_dpor ~impl:"register"
+      ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+      ~depth:8 ~max_crashes:0
+  in
+  let dpor_reg10 =
+    explore_dpor ~impl:"register"
+      ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+      ~depth:10 ~max_crashes:0
+  in
+  let dpor_results = [ dpor_cas0; dpor_cas1; dpor_reg8; dpor_reg10 ] in
+  let dpor_ok = List.for_all snd dpor_results in
   let live_ok = live_smoke () in
+  let live_dpor_ok, live_node_ratio, live_step_ratio = live_dpor_smoke () in
   let obs_ok = obs_smoke () in
   let san_ok = sanitize_overhead_smoke () in
   let ok =
     cas_ratio >= 3.0 && crash_ratio >= 3.0 && red_ratio >= 3.0 && cas_eq
-    && crash_eq && red_eq && live_ok && obs_ok && san_ok
+    && crash_eq && red_eq && dpor_ok && live_ok && live_dpor_ok && obs_ok
+    && san_ok
   in
   Printf.printf
     "smoke %s: depth-8 incremental ratios %.2fx / %.2fx, depth-10 reduction \
-     ratio %.2fx (bar: 3x each), live split %s, traces %s, sanitizer %s\n"
+     ratio %.2fx (bar: 3x each), dpor %s, live split %s, live dpor %.2fx \
+     nodes / %.2fx steps (bar: 3x each), traces %s, sanitizer %s\n"
     (if ok then "OK" else "FAILED")
     cas_ratio crash_ratio red_ratio
+    (if dpor_ok then "sound" else "BROKEN")
     (if live_ok then "reproduced" else "BROKEN")
+    live_node_ratio live_step_ratio
     (if obs_ok then "reconciled" else "BROKEN")
     (if san_ok then "transparent" else "BROKEN");
   ok

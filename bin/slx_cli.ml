@@ -373,7 +373,14 @@ let explore_cmd =
   let no_por_arg =
     Arg.(value & flag
          & info [ "no-por" ]
-             ~doc:"Disable sleep-set partial-order reduction.")
+             ~doc:"Disable declared-footprint sleep-set partial-order \
+                   reduction (DPOR, if enabled, still reduces).")
+  in
+  let no_dpor_arg =
+    Arg.(value & flag
+         & info [ "no-dpor" ]
+             ~doc:"Disable dynamic partial-order reduction (source-set \
+                   sleep sets woken by observed-access race reversals).")
   in
   let no_symmetry_arg =
     Arg.(value & flag
@@ -397,7 +404,7 @@ let explore_cmd =
                    violations in the stats without changing the verdict.")
   in
   let run impl depth max_crashes domains no_cache cache_capacity no_por
-      no_symmetry json naive sanitize trace progress progress_json =
+      no_dpor no_symmetry json naive sanitize trace progress progress_json =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -436,7 +443,8 @@ let explore_cmd =
             in
             Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes
               ~cache:(not no_cache) ?cache_capacity ~por:(not no_por)
-              ~symmetry:(not no_symmetry) ~domains ~obs ~sanitize ~check ()
+              ~dpor:(not no_dpor) ~symmetry:(not no_symmetry) ~domains ~obs
+              ~sanitize ~check ()
         in
         write_trace obs trace;
         if json then begin
@@ -481,9 +489,9 @@ let explore_cmd =
        ~doc:"Exhaustively check consensus safety on every bounded schedule")
     Term.(
       const run $ impl_arg $ depth_arg $ crashes_arg $ domains_arg
-      $ no_cache_arg $ cache_capacity_arg $ no_por_arg $ no_symmetry_arg
-      $ json_arg $ naive_arg $ sanitize_arg $ trace_arg $ progress_arg
-      $ progress_json_arg)
+      $ no_cache_arg $ cache_capacity_arg $ no_por_arg $ no_dpor_arg
+      $ no_symmetry_arg $ json_arg $ naive_arg $ sanitize_arg $ trace_arg
+      $ progress_arg $ progress_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* live-explore                                                        *)
@@ -516,7 +524,9 @@ let live_explore_cmd =
   let max_period_arg =
     Arg.(value & opt (some int) None
          & info [ "max-period" ]
-             ~doc:"Bound candidate cycle length in ticks (default depth/2).")
+             ~doc:"Bound candidate cycle length in ticks (default \
+                   ceil(depth/2), the largest period observable twice \
+                   within the depth bound).")
   in
   let pump_arg =
     Arg.(value & opt (some int) None
@@ -527,7 +537,20 @@ let live_explore_cmd =
     Arg.(value & flag
          & info [ "invoke-order" ]
              ~doc:"Offer only the least idle process's invocation at each \
-                   node (the cycle-sound reduction).")
+                   node (cycle-sound).")
+  in
+  let no_dpor_arg =
+    Arg.(value & flag
+         & info [ "no-dpor" ]
+             ~doc:"Disable the cycle-proviso-guarded dynamic partial-order \
+                   reduction.")
+  in
+  let proviso_arg =
+    Arg.(value & opt (some int) None
+         & info [ "proviso" ]
+             ~doc:"Bounded-ignoring proviso: max consecutive edges a \
+                   process may stay asleep (default 2; larger prunes more \
+                   but can miss lassos of shorter period).")
   in
   let no_cache_arg =
     Arg.(value & flag
@@ -538,6 +561,13 @@ let live_explore_cmd =
          & info [ "cache-capacity" ]
              ~doc:"Bound the transposition cache (clock eviction).")
   in
+  let sanitize_arg =
+    Arg.(value & flag
+         & info [ "sanitize" ]
+             ~doc:"Arm the footprint sanitizer (counting mode) on every \
+                   search cursor: violations surface in \
+                   footprint_violations without perturbing the search.")
+  in
   let json_arg =
     Arg.(value & flag
          & info [ "json" ]
@@ -545,7 +575,8 @@ let live_explore_cmd =
                    JSON object.")
   in
   let run impl property n depth max_crashes max_period pump_ticks invoke_order
-      no_cache cache_capacity json trace progress progress_json =
+      no_dpor proviso_bound no_cache cache_capacity sanitize json trace
+      progress progress_json =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -588,7 +619,8 @@ let live_explore_cmd =
         let r =
           Live_explore.search ~n ~factory ~invoke ~good ~point ~depth
             ~max_crashes ?max_period ?pump_ticks ~invoke_order
-            ~cache:(not no_cache) ?cache_capacity ~obs ()
+            ~dpor:(not no_dpor) ?proviso_bound ~cache:(not no_cache)
+            ?cache_capacity ~sanitize ~obs ()
         in
         write_trace obs trace;
         let dec_string = function
@@ -652,9 +684,9 @@ let live_explore_cmd =
           cycle")
     Term.(
       const run $ impl_arg $ property_arg $ procs_arg $ depth_arg $ crashes_arg
-      $ max_period_arg $ pump_arg $ invoke_order_arg $ no_cache_arg
-      $ cache_capacity_arg $ json_arg $ trace_arg $ progress_arg
-      $ progress_json_arg)
+      $ max_period_arg $ pump_arg $ invoke_order_arg $ no_dpor_arg
+      $ proviso_arg $ no_cache_arg $ cache_capacity_arg $ sanitize_arg
+      $ json_arg $ trace_arg $ progress_arg $ progress_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats — replay a saved trace into histograms                        *)
@@ -727,6 +759,36 @@ let stats_cmd =
                     (String.make (max 1 (40 * c / peak)) '#')
                     c)
                 rows
+            end;
+            (* Reduction work: the reduce-category instants each carry
+               the number of decisions affected in their args, so the
+               instant counts alone under-report — sum the weights. *)
+            let reduction_weight name arg =
+              List.fold_left
+                (fun acc e ->
+                  if str_field e "name" = Some name then
+                    acc + Option.value ~default:0 (arg_int e arg)
+                  else acc)
+                0 events
+            in
+            let reductions =
+              [
+                ("por_sleep", "slept");
+                ("race_reversal", "woken");
+                ("proviso_wake", "woken");
+                ("invoke_prune", "pruned");
+                ("symmetry_prune", "pruned");
+              ]
+              |> List.filter_map (fun (name, arg) ->
+                     let w = reduction_weight name arg in
+                     if w > 0 then Some (name, arg, w) else None)
+            in
+            if reductions <> [] then begin
+              Printf.printf "\n  reduction decisions (weighted by args):\n";
+              List.iter
+                (fun (name, arg, w) ->
+                  Printf.printf "    %-15s %-7s %d\n" name arg w)
+                reductions
             end;
             (* Steal latency: publication ("s") to theft ("f") per flow
                id, in microseconds. *)

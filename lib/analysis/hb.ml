@@ -36,9 +36,11 @@ let dedup touched =
   | Runtime.Opaque -> []
   | fp -> Option.value ~default:[] (Runtime.accesses fp)
 
-(* An observed conflict: both steps touched [obj], at least one wrote. *)
-let observed_conflict (a : Runtime.access) (b : Runtime.access) =
-  a.Runtime.obj = b.Runtime.obj && (a.Runtime.write || b.Runtime.write)
+(* An observed conflict: both steps touched [obj], at least one wrote.
+   The same oracle the DPOR engines wake sleepers with — sharing it is
+   what makes this certifier a check of exactly the relation the
+   reduction relied on. *)
+let observed_conflict = Slx_core.Dpor.observed_conflict
 
 let certify ~n steps =
   let steps = Array.of_list steps in

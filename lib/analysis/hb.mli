@@ -55,6 +55,12 @@ type mismatch = {
     only one order of a non-commuting pair.  Implies an
     under-declaration the race detector also flags. *)
 
+val observed_conflict : Runtime.access -> Runtime.access -> bool
+(** The conflict oracle: same object, at least one write.  This is
+    {e the same binding} as {!Slx_core.Dpor.observed_conflict} — the
+    certifier checks exactly the relation the DPOR reduction reversed
+    races with. *)
+
 val pp_mismatch : Format.formatter -> mismatch -> unit
 
 val certify : n:int -> step list -> (cert, mismatch) result

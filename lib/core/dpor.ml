@@ -1,0 +1,47 @@
+open Slx_sim
+
+(* The observed-access conflict oracle, generalized out of the
+   happens-before certifier (lib/analysis/hb.ml) so both exploration
+   engines can consult it: two accesses conflict iff they touch the
+   same base object and at least one writes it. *)
+let observed_conflict (a : Runtime.access) (b : Runtime.access) =
+  a.Runtime.obj = b.Runtime.obj && (a.Runtime.write || b.Runtime.write)
+
+let footprint_of_touches touched = Runtime.of_accesses touched
+
+let observed_commute obs pending = Runtime.footprints_commute obs pending
+
+(* The observed footprint of the step the engine just executed: the
+   probe's physical touches when instrumentation reported any,
+   otherwise its effective declared footprint; with no probe (the
+   legacy declared-footprint oracle), the declared pending footprint
+   the step was suspended at. *)
+let observed_step ~probe ~declared =
+  match probe with
+  | Some pr -> Runtime.probe_last_observed pr
+  | None -> Option.value declared ~default:Runtime.Opaque
+
+(* Whether the sleeping process [z] must be woken (a race reversal) by
+   the executed step with observed footprint [observed]: its pending
+   action no longer provably commutes with what the step actually did.
+   A sleeping process with no pending footprint (it is not [Ready]
+   anymore, which cannot happen for frozen continuations but is cheap
+   to guard) is woken conservatively. *)
+let wakes ~observed ~pending =
+  match pending with
+  | None -> true
+  | Some fp -> not (Runtime.footprints_commute observed fp)
+
+(* Advance a sleep set across an executed decision: crashes perturb
+   every frozen continuation's future (the crash event is visible to
+   all), so they wake everyone (not counted as reversals); invocations
+   touch only the invoker's local state and commute with any pending
+   step; a schedule keeps exactly the sleepers whose pending footprints
+   commute with the step's observed accesses, and returns the woken
+   ones — the race reversals — second. *)
+let advance ~observed ~pending sleep d =
+  match d with
+  | Driver.Crash _ -> ([], [])
+  | Driver.Invoke _ | Driver.Stop -> (sleep, [])
+  | Driver.Schedule _ ->
+      List.partition (fun z -> not (wakes ~observed ~pending:(pending z))) sleep

@@ -1,0 +1,71 @@
+(** Source-set dynamic partial-order reduction, shared by the safety
+    explorer ({!Explore}) and the fair-cycle search ({!Live_explore}).
+
+    Classic sleep sets prune a scheduling decision when the slept
+    process's {e declared} footprint commutes with every step taken
+    since it went to sleep.  The DPOR variant keeps the same walk shape
+    — at each node the active (non-slept) children form the node's
+    {e source set}, and a process falls asleep once its subtree is
+    explored — but advances the sleep set from {e dynamic} conflicts:
+    after a step executes, the engine reads its physically observed
+    accesses from a {!Slx_sim.Runtime.probe} and wakes exactly the
+    sleepers whose pending actions raced with what the step actually
+    did (a {e race reversal}: the reversed order must be explored).
+    Observed accesses refine declarations (a clean implementation
+    touches a subset of what it declares, the invariant the sanitizer
+    certifies), so the dynamic oracle never prunes less than the
+    declared one and prunes strictly more whenever a declared conflict
+    does not materialize at runtime — no wakeup trees needed: the
+    engines' in-order walk already explores the reversal as the woken
+    sibling's subtree.
+
+    The conflict relation is the one the happens-before certifier
+    ({!Slx_analysis.Hb}) derives: two accesses conflict iff they touch
+    the same base object and at least one writes ({!observed_conflict}
+    is that oracle, generalized here so core engines can consult it
+    without depending on the analysis layer). *)
+
+open Slx_history
+open Slx_sim
+
+val observed_conflict : Runtime.access -> Runtime.access -> bool
+(** [observed_conflict a b]: same object, at least one write — the
+    observed-access conflict oracle. *)
+
+val footprint_of_touches : Runtime.access list -> Runtime.footprint
+(** Canonical footprint of a touch list (merged per object, sorted);
+    the empty list yields the empty footprint, which commutes with
+    everything. *)
+
+val observed_commute : Runtime.footprint -> Runtime.footprint -> bool
+(** Footprint-level commutation ({!Slx_sim.Runtime.footprints_commute});
+    on canonical touch footprints this is the negation of
+    "some pair of accesses satisfies {!observed_conflict}". *)
+
+val observed_step :
+  probe:Runtime.probe option ->
+  declared:Runtime.footprint option ->
+  Runtime.footprint
+(** The observed footprint of the step just executed: the probe's last
+    observation when a probe is installed, else the declared pending
+    footprint ([Opaque] when neither is available). *)
+
+val wakes :
+  observed:Runtime.footprint -> pending:Runtime.footprint option -> bool
+(** Whether a sleeper with this pending footprint must be woken by a
+    step with this observed footprint — true exactly when the two do
+    not provably commute (or the sleeper has no pending footprint). *)
+
+val advance :
+  observed:Runtime.footprint ->
+  pending:(Proc.t -> Runtime.footprint option) ->
+  Proc.t list ->
+  ('inv, 'res) Driver.decision ->
+  Proc.t list * Proc.t list
+(** [advance ~observed ~pending sleep d] splits [sleep] into the
+    processes that stay asleep across the executed decision [d] and
+    the ones it wakes, in that order.  [Crash] wakes everyone (the
+    crash event invalidates every sleeper's equivalence argument —
+    not a race reversal); [Invoke] is local and keeps everyone;
+    [Schedule] wakes exactly the sleepers racing with [observed] —
+    the race reversals the engines count and re-explore. *)

@@ -145,6 +145,7 @@ type ('inv, 'res) dstate = {
   mutable avoided : int;
   mutable hits : int;
   mutable sleeps : int;
+  mutable reversals : int;
   mutable sym_pruned : int;
   mutable steals : int;
   mutable digest : int;
@@ -156,6 +157,11 @@ type ('inv, 'res) dstate = {
          non-raising, non-recording — it only counts violations, so a
          sanitized exploration takes exactly the decisions an
          unsanitized one does. *)
+  probe : Runtime.probe option;
+      (* DPOR observed-access probe, likewise shared by the domain's
+         cursors: records what each executed step physically touched,
+         from which the dynamic sleep-set filter computes race
+         reversals.  Recording only — decisions are unchanged. *)
 }
 
 and entry = { e_runs : int; e_digest : int }
@@ -173,7 +179,7 @@ let zero_sample =
   }
 
 let new_state ~index ?capacity ~sink ?(progress = Progress.off)
-    ?(sanitize = false) () =
+    ?(sanitize = false) ?(dpor = false) () =
   {
     index;
     sink;
@@ -186,6 +192,7 @@ let new_state ~index ?capacity ~sink ?(progress = Progress.off)
     avoided = 0;
     hits = 0;
     sleeps = 0;
+    reversals = 0;
     sym_pruned = 0;
     steals = 0;
     digest = 0;
@@ -196,6 +203,7 @@ let new_state ~index ?capacity ~sink ?(progress = Progress.off)
       (if sanitize then
          Some (Runtime.make_shadow ~record:false ~raise_on_violation:false ())
        else None);
+    probe = (if dpor then Some (Runtime.make_probe ()) else None);
   }
 
 let stats_of_states ~domains_used ~elapsed_ns ~events_dropped states :
@@ -217,7 +225,8 @@ let stats_of_states ~domains_used ~elapsed_ns ~events_dropped states :
         cache_hits = acc.cache_hits + st.hits;
         cache_entries = acc.cache_entries + Clock_cache.length st.table;
         cache_evictions = acc.cache_evictions + Clock_cache.evictions st.table;
-        por_sleeps = acc.por_sleeps + st.sleeps;
+        por_prunes = acc.por_prunes + st.sleeps;
+        race_reversals = acc.race_reversals + st.reversals;
         symmetry_pruned = acc.symmetry_pruned + st.sym_pruned;
         steals = acc.steals + st.steals;
         footprint_violations =
@@ -345,13 +354,41 @@ let record_witness shared ((rank, _, _) as w) =
 (* The incremental reduced engine.                                     *)
 
 let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
-    ?cache_capacity ?(por = false) ?(symmetry = false) ?(domains = 1)
-    ?(obs = Obs.disabled) ?(sanitize = false) ~check () =
+    ?cache_capacity ?(por = false) ?(dpor = false) ?(symmetry = false)
+    ?(domains = 1) ?(obs = Obs.disabled) ?(sanitize = false) ~check () =
   let t0 = Clock.now_ns () in
+  (* [reduce]: the sleep-set walk runs; [dpor] selects the dynamic
+     observed-access oracle over the declared-footprint one. *)
+  let reduce = por || dpor in
   let menu = decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry in
   let make_cursor st =
     Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks
-      ?shadow:st.shadow ()
+      ?shadow:st.shadow ?probe:st.probe ()
+  in
+  (* Under DPOR, a child's sleep set is only a {e candidate} until its
+     edge executes: the dynamic filter then wakes the sleepers whose
+     pending actions raced with the step's observed accesses.  Returns
+     the settled sleep set. *)
+  let settle_sleep st cursor d candidate len =
+    if not dpor then candidate
+    else begin
+      let observed = Dpor.observed_step ~probe:st.probe ~declared:None in
+      let keep, woken =
+        Dpor.advance ~observed
+          ~pending:(fun z -> Runner.Cursor.pending cursor z)
+          candidate d
+      in
+      (match woken with
+      | [] -> ()
+      | _ -> (
+          match d with
+          | Driver.Schedule _ ->
+              st.reversals <- st.reversals + List.length woken;
+              Telemetry.emit st.sink Telemetry.Race_reversal len
+                (List.length woken)
+          | _ -> ()));
+      keep
+    end
   in
   (* Walk the subtree rooted at the configuration [cursor] sits on.
      The first child extends the cursor in place (the incremental step
@@ -429,7 +466,7 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
                so granting it here would reproduce, step-swapped, a run
                already explored from an earlier sibling. *)
             let asleep, active =
-              if por && sleep <> [] then
+              if reduce && sleep <> [] then
                 List.partition
                   (fun d ->
                     match d with
@@ -476,16 +513,25 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
                 (* Children, each with its sleep set: a process stays
                    (or, as an explored earlier sibling, falls) asleep
                    across child [d] iff its pending step commutes with
-                   [d]. *)
+                   [d].  Declared POR decides commutation here, from
+                   static footprints; DPOR instead carries the whole
+                   set as a candidate and lets [settle_sleep] wake
+                   racers from the accesses [d] actually performed
+                   (crashes conservatively wake everyone — a crash
+                   perturbs every process's view of the crashed one). *)
                 let children =
-                  if not por then
+                  if not reduce then
                     List.mapi (fun i d -> (i, d, [])) active
                   else
                     List.mapi (fun i d -> (i, d)) active
                     |> List.fold_left
                          (fun (acc, prev) (i, d) ->
                            let child_sleep =
-                             List.filter (fun z -> commutes z d) prev
+                             if dpor then
+                               match d with
+                               | Driver.Crash _ -> []
+                               | _ -> prev
+                             else List.filter (fun z -> commutes z d) prev
                            in
                            let prev' =
                              match d with
@@ -547,10 +593,13 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
                       Telemetry.emit st.sink Telemetry.Decision (len + 1)
                         (dec_code d);
                       Runner.Cursor.apply child d;
+                      let settled =
+                        settle_sleep st child d child_sleep (len + 1)
+                      in
                       if
                         not
                           (visit sh st child (d :: rev_script)
-                             (i :: rev_rank) (len + 1) crashes' child_sleep)
+                             (i :: rev_rank) (len + 1) crashes' settled)
                       then complete := false
                     end)
                   children;
@@ -585,7 +634,7 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
     let st =
       new_state ~index:0 ?capacity:cache_capacity
         ~sink:(Obs.sink obs ~index:0) ~progress:(Obs.progress obs) ~sanitize
-        ()
+        ~dpor ()
     in
     wire_progress obs [| st |] (fun () -> 0);
     let root = make_cursor st in
@@ -619,7 +668,7 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
           new_state ~index:i ?capacity:cache_capacity
             ~sink:(Obs.sink obs ~index:i)
             ~progress:(if i = 0 then progress else Progress.off)
-            ~sanitize ())
+            ~sanitize ~dpor ())
     in
     wire_progress obs states (fun () -> Atomic.get shared.outstanding);
     let root_id = Atomic.fetch_and_add shared.next_item 1 in
@@ -654,9 +703,19 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
               let c = make_cursor st in
               List.iter (Runner.Cursor.apply c) (List.rev it.it_script);
               st.replayed <- st.replayed + it.it_len;
+              (* A stolen item carries the publisher's {e candidate}
+                 sleep set; the probe now holds the accesses of the
+                 item's last decision (the final step of the replay),
+                 so settle it here — exactly the filter the inline
+                 path would have applied. *)
+              let sleep =
+                match it.it_script with
+                | d :: _ -> settle_sleep st c d it.it_sleep it.it_len
+                | [] -> it.it_sleep
+              in
               (match
                  visit (Some shared) st c it.it_script
-                   (List.rev it.it_rank) it.it_len it.it_crashes it.it_sleep
+                   (List.rev it.it_rank) it.it_len it.it_crashes sleep
                with
               | (_ : bool) -> ()
               | exception Found_counterexample -> (

@@ -107,6 +107,7 @@ val explore :
   ?cache:bool ->
   ?cache_capacity:int ->
   ?por:bool ->
+  ?dpor:bool ->
   ?symmetry:bool ->
   ?domains:int ->
   ?obs:Slx_obs.Obs.t ->
@@ -126,7 +127,18 @@ val explore :
     [cache_capacity] bounds each domain's cache to that many entries,
     evicted second-chance (unbounded without it).  [por] (default
     [false]) enables sleep-set partial-order reduction over the
-    base-object access footprints of pending steps.  [symmetry]
+    base-object access footprints of pending steps.  [dpor] (default
+    [false]) enables the {e dynamic} variant ({!Dpor}): each cursor
+    carries an observed-access probe
+    ({!Slx_sim.Runtime.make_probe}), children inherit the whole sleep
+    set as a candidate, and after each edge executes the sleepers
+    whose pending footprints race with the accesses the step {e
+    actually performed} are woken (a {e race reversal},
+    {!Explore_stats.t.race_reversals}).  Observed accesses refine
+    declared footprints, so DPOR prunes at least as much as [por] on
+    any implementation whose declarations over-approximate; both
+    soundness caveats of [por] apply unchanged.  [por] and [dpor]
+    compose as "either on" with the DPOR oracle winning.  [symmetry]
     (default [false]) declares the instance process-symmetric and
     enables orbit pruning of untouched processes; see the soundness
     notes above.  [domains] (default 1) fans the exploration across up

@@ -8,7 +8,10 @@ type t = {
   cache_hits : int;
   cache_entries : int;
   cache_evictions : int;
-  por_sleeps : int;
+  por_prunes : int;
+  race_reversals : int;
+  invoke_order_prunes : int;
+  proviso_wakes : int;
   symmetry_pruned : int;
   cycles_examined : int;
   fair_cycles : int;
@@ -35,7 +38,10 @@ let zero =
     cache_hits = 0;
     cache_entries = 0;
     cache_evictions = 0;
-    por_sleeps = 0;
+    por_prunes = 0;
+    race_reversals = 0;
+    invoke_order_prunes = 0;
+    proviso_wakes = 0;
     symmetry_pruned = 0;
     cycles_examined = 0;
     fair_cycles = 0;
@@ -70,7 +76,10 @@ let merge a b =
     cache_hits = a.cache_hits + b.cache_hits;
     cache_entries = a.cache_entries + b.cache_entries;
     cache_evictions = a.cache_evictions + b.cache_evictions;
-    por_sleeps = a.por_sleeps + b.por_sleeps;
+    por_prunes = a.por_prunes + b.por_prunes;
+    race_reversals = a.race_reversals + b.race_reversals;
+    invoke_order_prunes = a.invoke_order_prunes + b.invoke_order_prunes;
+    proviso_wakes = a.proviso_wakes + b.proviso_wakes;
     symmetry_pruned = a.symmetry_pruned + b.symmetry_pruned;
     cycles_examined = a.cycles_examined + b.cycles_examined;
     fair_cycles = a.fair_cycles + b.fair_cycles;
@@ -102,12 +111,18 @@ let pp fmt s =
     "@[<v>nodes visited:    %d@,maximal runs:     %d (checked: %d)@,\
      steps executed:   %d (replayed: %d)@,replays avoided:  %d@,\
      cache:            %d hits / %d entries / %d evictions@,\
-     reductions:       %d slept (POR), %d pruned (symmetry)@,\
+     reductions:       %d pruned (POR), %d pruned (symmetry)@,\
      domains:          %d (%d steals)@,elapsed:          %a"
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
     s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
-    s.por_sleeps s.symmetry_pruned s.domains_used s.steals pp_elapsed
+    s.por_prunes s.symmetry_pruned s.domains_used s.steals pp_elapsed
     s.elapsed_ns;
+  if s.race_reversals > 0 || s.invoke_order_prunes > 0 || s.proviso_wakes > 0
+  then
+    Format.fprintf fmt
+      "@,dpor:             %d race reversals, %d proviso wakes, %d \
+       invoke-order prunes"
+      s.race_reversals s.proviso_wakes s.invoke_order_prunes;
   if s.cycles_examined > 0 || s.fair_cycles > 0 then
     Format.fprintf fmt "@,cycles:           %d examined, %d fair violating"
       s.cycles_examined s.fair_cycles;
@@ -139,7 +154,9 @@ let to_json s =
     "{\"nodes\": %d, \"runs\": %d, \"runs_checked\": %d, \
      \"steps_executed\": %d, \"steps_replayed\": %d, \
      \"replays_avoided\": %d, \"cache_hits\": %d, \"cache_entries\": %d, \
-     \"cache_evictions\": %d, \"por_sleeps\": %d, \"symmetry_pruned\": %d, \
+     \"cache_evictions\": %d, \"por_prunes\": %d, \"race_reversals\": %d, \
+     \"invoke_order_prunes\": %d, \"proviso_wakes\": %d, \
+     \"symmetry_pruned\": %d, \
      \"cycles_examined\": %d, \"fair_cycles\": %d, \
      \"domains_used\": %d, \"steals\": %d, \"hb_edges\": %d, \
      \"commutation_checks\": %d, \"footprint_violations\": %d, \
@@ -148,7 +165,8 @@ let to_json s =
      \"history_digest\": %d}"
     s.nodes s.runs s.runs_checked s.steps_executed s.steps_replayed
     s.replays_avoided s.cache_hits s.cache_entries s.cache_evictions
-    s.por_sleeps s.symmetry_pruned s.cycles_examined s.fair_cycles
+    s.por_prunes s.race_reversals s.invoke_order_prunes s.proviso_wakes
+    s.symmetry_pruned s.cycles_examined s.fair_cycles
     s.domains_used s.steals s.hb_edges s.commutation_checks
     s.footprint_violations
     (json_pair_list s.per_domain_runs)

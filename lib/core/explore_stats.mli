@@ -32,10 +32,26 @@ type t = {
   cache_evictions : int;
       (** Entries evicted by the clock policy under [~cache_capacity]
           (0 when the cache is unbounded). *)
-  por_sleeps : int;
+  por_prunes : int;
       (** Scheduling decisions skipped because the process was in the
           sleep set — each cuts a redundant interleaving of commuting
-          steps (partial-order reduction). *)
+          steps (partial-order reduction, declared or DPOR).  Counted
+          by both engines; the liveness search's [invoke_order]
+          reduction has its own counter ([invoke_order_prunes]). *)
+  race_reversals : int;
+      (** DPOR only: sleeping processes woken because an executed
+          step's {e observed} accesses raced with their pending action
+          ({!Dpor.advance}) — each forces the reversed order of a
+          dynamic conflict to be explored. *)
+  invoke_order_prunes : int;
+      (** Fair-cycle search ({!Live_explore}) only: invocations pruned
+          by the [invoke_order] reduction (offer only the least idle
+          process's invocation).  Previously folded into the POR
+          counter; split so the two reductions are attributable. *)
+  proviso_wakes : int;
+      (** Fair-cycle search only: sleeping processes force-woken by
+          the bounded-ignoring cycle proviso (slept through too many
+          consecutive ticks), keeping the reduction cycle-sound. *)
   symmetry_pruned : int;
       (** Decisions pruned as symmetric to a lower-numbered untouched
           process's decision (symmetry reduction orbit pruning). *)

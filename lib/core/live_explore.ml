@@ -23,10 +23,15 @@ exception Found_lasso
    fingerprint, which embeds the full history and hence all response
    payloads) and of at most that much trace suffix, so two prefixes
    agreeing on both have identical candidate sets below — an entry is
-   written only for completed lasso-free subtrees. *)
+   written only for completed lasso-free subtrees.  Under DPOR the
+   reduced subtree additionally depends on the sleep set and on each
+   sleeper's ignoring streak (the proviso counter), so [k_sleep] joins
+   the key; with DPOR off it is always [] and keys degenerate to the
+   old shape. *)
 type ('inv, 'res) key = {
   k_fp : ('inv, 'res) Runner.fingerprint;
   k_cells : string list list;
+  k_sleep : (Proc.t * int) list;
 }
 
 type ('inv, 'res) state = {
@@ -39,12 +44,18 @@ type ('inv, 'res) state = {
   mutable avoided : int;
   mutable hits : int;
   mutable invoke_pruned : int;
+  mutable por_pruned : int;
+  mutable reversals : int;
+  mutable proviso : int;
   mutable cycles : int;
   mutable fair : int;
   mutable found : ('inv, 'res) Lasso.cert option;
   ticks : int ref;
   table : (('inv, 'res) key, unit) Clock_cache.t;
   shadow : Runtime.shadow option;  (* non-raising: counts only *)
+  probe : Runtime.probe option;
+      (* DPOR observed-access probe shared by all cursors of this
+         (sequential) search; recording only. *)
 }
 
 let zero_sample =
@@ -60,7 +71,7 @@ let zero_sample =
   }
 
 let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off)
-    ?(sanitize = false) () =
+    ?(sanitize = false) ?(dpor = false) () =
   {
     sink;
     progress;
@@ -71,6 +82,9 @@ let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off)
     avoided = 0;
     hits = 0;
     invoke_pruned = 0;
+    por_pruned = 0;
+    reversals = 0;
+    proviso = 0;
     cycles = 0;
     fair = 0;
     found = None;
@@ -80,6 +94,7 @@ let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off)
       (if sanitize then
          Some (Runtime.make_shadow ~record:false ~raise_on_violation:false ())
        else None);
+    probe = (if dpor then Some (Runtime.make_probe ()) else None);
   }
 
 (* Install the progress sample: the live search is sequential, so the
@@ -118,7 +133,10 @@ let stats_of_state ~elapsed_ns ~events_dropped st : Explore_stats.t =
     cache_hits = st.hits;
     cache_entries = Clock_cache.length st.table;
     cache_evictions = Clock_cache.evictions st.table;
-    por_sleeps = st.invoke_pruned;
+    por_prunes = st.por_pruned;
+    race_reversals = st.reversals;
+    invoke_order_prunes = st.invoke_pruned;
+    proviso_wakes = st.proviso;
     cycles_examined = st.cycles;
     fair_cycles = st.fair;
     domains_used = 1;
@@ -247,15 +265,34 @@ let eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks ~blocked
   end
 
 let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
-    ?max_period ?pump_ticks ?(invoke_order = false) ?(cache = true)
-    ?cache_capacity ?(obs = Obs.disabled) ?(sanitize = false) () =
+    ?max_period ?pump_ticks ?(invoke_order = false) ?(dpor = false)
+    ?proviso_bound ?(cache = true) ?cache_capacity ?(obs = Obs.disabled)
+    ?(sanitize = false) () =
   let t0 = Clock.now_ns () in
-  let max_period = Option.value max_period ~default:(max 1 (depth / 2)) in
+  (* Default period bound: ceil(depth / 2), the largest period for
+     which two full repetitions fit in a depth-bounded suffix at {e
+     some} node of the walk (detection at a node of length [len] needs
+     [2p <= len]; the deepest nodes have [len = depth]).  A plain
+     [depth / 2] floor is equivalent for detection — an odd depth's
+     last tick cannot complete a second repetition — but ceil keeps
+     the documented bound honest at odd depths and costs nothing. *)
+  let max_period = Option.value max_period ~default:(max 1 ((depth + 1) / 2)) in
   let pump_ticks = Option.value pump_ticks ~default:(4 * depth) in
+  (* Bounded-ignoring proviso: a process may stay asleep through at
+     most this many consecutive edges of the walk before being
+     force-woken, so on any retained cycle of period >= the bound
+     every slept process gets re-enabled within one repetition — the
+     cycle proviso that keeps the sleep-set reduction sound for
+     fair-cycle detection.  Default 2, the minimal nontrivial period:
+     period-1 fair cycles need no protection (a sleeper is Ready and
+     correct, so a cycle that never grants it is not fair in the full
+     graph either), and larger bounds can ignore a transition across a
+     whole short cycle and silently miss its lasso. *)
+  let proviso_bound = Option.value proviso_bound ~default:2 in
   let st =
     new_state ?capacity:cache_capacity
       ~sink:(Obs.sink obs ~index:0)
-      ~progress:(Obs.progress obs) ~sanitize ()
+      ~progress:(Obs.progress obs) ~sanitize ~dpor ()
   in
   wire_progress st;
   let all_procs = Proc.all ~n in
@@ -282,7 +319,7 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                 | Some inv ->
                     if invoke_order && !seen_invoke then begin
                       st.invoke_pruned <- st.invoke_pruned + 1;
-                      Telemetry.emit st.sink Telemetry.Por_sleep len 1;
+                      Telemetry.emit st.sink Telemetry.Invoke_prune len 1;
                       []
                     end
                     else begin
@@ -314,9 +351,49 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
            && Option.is_none (invoke view p))
          all_procs)
   in
+  (* Settle a child's candidate sleep set once its edge [d] has
+     executed (DPOR only).  Three filters, in order: (1) race
+     reversal — wake every sleeper whose pending footprint conflicts
+     with the accesses [d] actually performed; (2) the decision kind —
+     crashes wake everyone (handled by the caller passing [] as the
+     candidate), invocations are process-local and keep everyone;
+     (3) the bounded-ignoring proviso — bump each survivor's streak
+     and force-wake those that reach [proviso_bound]. *)
+  let settle_sleep child d candidate len =
+    let advanced =
+      match d with
+      | Driver.Schedule _ ->
+          let observed = Dpor.observed_step ~probe:st.probe ~declared:None in
+          let keep, woken =
+            List.partition
+              (fun (z, _) ->
+                not
+                  (Dpor.wakes ~observed
+                     ~pending:(Runner.Cursor.pending child z)))
+              candidate
+          in
+          if woken <> [] then begin
+            st.reversals <- st.reversals + List.length woken;
+            Telemetry.emit st.sink Telemetry.Race_reversal len
+              (List.length woken)
+          end;
+          keep
+      | _ -> candidate
+    in
+    let kept, expired =
+      List.partition (fun (_, streak) -> streak + 1 < proviso_bound) advanced
+    in
+    if expired <> [] then begin
+      st.proviso <- st.proviso + List.length expired;
+      Telemetry.emit st.sink Telemetry.Proviso_wake len (List.length expired)
+    end;
+    List.map (fun (z, streak) -> (z, streak + 1)) kept
+  in
   (* As in {!Explore}: [visit] wraps [visit_body] in the node span,
-     closed on every exit ([Found_lasso] unwinds included). *)
-  let rec visit cursor rev_script rev_cells rev_goods len crashes =
+     closed on every exit ([Found_lasso] unwinds included).  [sleep]
+     carries each slept process with its ignoring streak; [] with DPOR
+     off. *)
+  let rec visit cursor rev_script rev_cells rev_goods len crashes sleep =
     st.nodes <- st.nodes + 1;
     Progress.tick st.progress st.sample;
     if Telemetry.enabled st.sink then begin
@@ -324,16 +401,18 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
       Fun.protect
         ~finally:(fun () ->
           Telemetry.emit st.sink Telemetry.Node_leave len 0)
-        (fun () -> visit_body cursor rev_script rev_cells rev_goods len crashes)
+        (fun () ->
+          visit_body cursor rev_script rev_cells rev_goods len crashes sleep)
     end
-    else visit_body cursor rev_script rev_cells rev_goods len crashes
-  and visit_body cursor rev_script rev_cells rev_goods len crashes =
+    else visit_body cursor rev_script rev_cells rev_goods len crashes sleep
+  and visit_body cursor rev_script rev_cells rev_goods len crashes sleep =
     let key =
       if cache then
         Some
           {
             k_fp = Runner.Cursor.fingerprint cursor;
             k_cells = take (2 * max_period) rev_cells;
+            k_sleep = sleep;
           }
       else None
     in
@@ -348,9 +427,65 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
         (match menu view len crashes with
         | [] -> st.runs <- st.runs + 1
         | decisions ->
+            (* Sleep-set filter, guarded by the cycle proviso.  A slept
+               process's step commutes with everything executed since
+               it went to sleep, so granting it here only step-swaps a
+               run an earlier sibling explores — {e for safety}.  For
+               cycle detection two extra wakes keep the reduction
+               sound: a path is never truncated outright (if every
+               enabled decision is asleep, all sleepers are
+               force-woken), and no process sleeps through more than
+               [proviso_bound] consecutive edges ([settle_sleep]), so
+               every pruned transition is re-enabled within that many
+               ticks on any retained cycle. *)
+            let asleep, active =
+              if dpor && sleep <> [] then
+                List.partition
+                  (fun d ->
+                    match d with
+                    | Driver.Schedule p -> List.mem_assoc p sleep
+                    | _ -> false)
+                  decisions
+              else ([], decisions)
+            in
+            let asleep, active, sleep =
+              if active = [] && asleep <> [] then begin
+                st.proviso <- st.proviso + List.length asleep;
+                Telemetry.emit st.sink Telemetry.Proviso_wake len
+                  (List.length asleep);
+                ([], decisions, [])
+              end
+              else (asleep, active, sleep)
+            in
+            st.por_pruned <- st.por_pruned + List.length asleep;
+            if asleep <> [] then
+              Telemetry.emit st.sink Telemetry.Por_sleep len
+                (List.length asleep);
+            (* Children with their candidate sleep sets: each explored
+               sibling falls asleep (streak 0) for the siblings after
+               it; crashes wake everyone. *)
+            let children =
+              if not dpor then List.mapi (fun i d -> (i, d, [])) active
+              else
+                List.mapi (fun i d -> (i, d)) active
+                |> List.fold_left
+                     (fun (acc, prev) (i, d) ->
+                       let child_sleep =
+                         match d with Driver.Crash _ -> [] | _ -> prev
+                       in
+                       let prev' =
+                         match d with
+                         | Driver.Schedule p ->
+                             (p, 0) :: List.remove_assoc p prev
+                         | _ -> prev
+                       in
+                       ((i, d, child_sleep) :: acc, prev'))
+                     ([], sleep)
+                |> fst |> List.rev
+            in
             let before = History.length view.Driver.history in
-            List.iteri
-              (fun i d ->
+            List.iter
+              (fun (i, d, child_sleep) ->
                 let crashes' =
                   match d with Driver.Crash _ -> crashes + 1 | _ -> crashes
                 in
@@ -362,7 +497,7 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                   else begin
                     let c =
                       Runner.Cursor.replay ~n ~factory:(factory ())
-                        ~ticks:st.ticks ?shadow:st.shadow
+                        ~ticks:st.ticks ?shadow:st.shadow ?probe:st.probe
                         (List.rev rev_script)
                     in
                     st.replayed <- st.replayed + len;
@@ -372,6 +507,10 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                 Telemetry.emit st.sink Telemetry.Decision (len + 1)
                   (dec_code d);
                 Runner.Cursor.apply child d;
+                let settled =
+                  if dpor then settle_sleep child d child_sleep (len + 1)
+                  else []
+                in
                 let fresh =
                   drop before
                     (History.to_list
@@ -380,16 +519,16 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                 visit child (d :: rev_script)
                   (cell_of d fresh :: rev_cells)
                   (goods_of ~good fresh :: rev_goods)
-                  (len + 1) crashes')
-              decisions);
+                  (len + 1) crashes' settled)
+              children);
         Option.iter (fun k -> Clock_cache.replace st.table k ()) key
   in
   let root =
     Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks
-      ?shadow:st.shadow ()
+      ?shadow:st.shadow ?probe:st.probe ()
   in
   let outcome =
-    match visit root [] [] [] 0 0 with
+    match visit root [] [] [] 0 0 [] with
     | () -> No_fair_cycle
     | exception Found_lasso -> Lasso (Option.get st.found)
   in

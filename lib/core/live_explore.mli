@@ -49,10 +49,25 @@
     fingerprint {e plus} the last [2 * max_period] abstract cells —
     the context that determines every candidate in a subtree — and
     stores only completed lasso-free subtrees, so hits can never mask
-    the least witness.  The safety engine's sleep-set POR is {e
-    unsound} here (sleep sets are path-dependent; pruning by them can
-    drop every representative of a periodic run — the classic
-    "ignoring problem"); the one reduction offered is
+    the least witness.
+
+    {b Reductions.}  Naive sleep sets are unsound for cycle detection
+    — sleep sets are path-dependent, and pruning by them can defer a
+    transition forever around a cycle (the classic "ignoring
+    problem"), dropping every representative of a periodic run.  The
+    [dpor] reduction closes that gap with a {e bounded-ignoring cycle
+    proviso}: the DPOR sleep-set walk of {!Explore} (dynamic
+    observed-access race reversal, {!Dpor}) runs under two extra wake
+    rules — a node whose every enabled decision is asleep force-wakes
+    them all instead of truncating the path, and no process stays
+    asleep through more than [proviso_bound] consecutive edges.
+    Together these guarantee that on every retained cycle each pruned
+    transition is re-enabled within [proviso_bound] ticks, so a fair
+    periodic run cannot be ignored out of the reduced tree; the
+    transposition key carries the sleep set and the per-sleeper
+    ignoring streaks so distinct reduced subtrees never share an
+    entry.  Certificate validation (pumping) remains the unconditional
+    backstop against false positives.  The other reduction offered is
     [invoke_order]. *)
 
 open Slx_history
@@ -73,8 +88,10 @@ type ('inv, 'res) result = {
   stats : Explore_stats.t;
       (** Work counters.  [cycles_examined]/[fair_cycles] count the
           periodic candidates and the fair violating ones;
-          [por_sleeps] counts invocations pruned by [invoke_order];
-          pump replays are included in [steps_executed]. *)
+          [invoke_order_prunes] counts invocations pruned by
+          [invoke_order]; [por_prunes]/[race_reversals]/
+          [proviso_wakes] count the [dpor] reduction's prunes and
+          wakes; pump replays are included in [steps_executed]. *)
 }
 
 val search :
@@ -88,6 +105,8 @@ val search :
   ?max_period:int ->
   ?pump_ticks:int ->
   ?invoke_order:bool ->
+  ?dpor:bool ->
+  ?proviso_bound:int ->
   ?cache:bool ->
   ?cache_capacity:int ->
   ?obs:Slx_obs.Obs.t ->
@@ -101,16 +120,27 @@ val search :
     returns the first validated fair progress-free lasso, or
     [No_fair_cycle] after exhausting the tree.
 
-    [max_period] (default [depth / 2]) bounds the candidate cycle
-    length in ticks.  [pump_ticks] (default [4 * depth]) is the
-    validation budget: every candidate's cycle is pumped until at
-    least that many extra ticks are covered before it is believed —
-    it must exceed the implementation's longest good-response latency
-    or a pre-response phase can masquerade as a cycle.  [invoke_order]
-    (default [false]) prunes all but the least idle process's
-    invocation at each node (sound for cycles, see module doc);
-    [cache]/[cache_capacity] control the suffix-keyed transposition
-    cache.
+    [max_period] (default ceil([depth / 2]), the largest period with
+    two full repetitions observable within the depth bound — detection
+    at a node of length [len] needs [2 * period <= len]) bounds the
+    candidate cycle length in ticks.  [pump_ticks] (default
+    [4 * depth]) is the validation budget: every candidate's cycle is
+    pumped until at least that many extra ticks are covered before it
+    is believed — it must exceed the implementation's longest
+    good-response latency or a pre-response phase can masquerade as a
+    cycle.  [invoke_order] (default [false]) prunes all but the least
+    idle process's invocation at each node (sound for cycles, see
+    module doc); [dpor] (default [false]) enables the
+    cycle-proviso-guarded DPOR sleep-set reduction (see module doc),
+    with [proviso_bound] (default [2]) the bounded-ignoring limit: a
+    transition stays protected on every retained cycle of period at
+    least the bound, so the default — the minimal nontrivial period —
+    protects them all (period-1 fair cycles need none: a sleeper is
+    Ready and correct, so a cycle never granting it is unfair in the
+    full graph too).  Larger bounds prune more but can ignore a
+    transition across a whole shorter cycle and silently miss its
+    lasso; [cache]/[cache_capacity] control the suffix-keyed
+    transposition cache.
 
     [obs] (default {!Slx_obs.Obs.disabled}) attaches the observability
     bundle, as in {!Explore.explore}: node spans, decisions, cache

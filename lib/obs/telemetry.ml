@@ -6,6 +6,9 @@ type kind =
   | Cache_hit
   | Cache_evict
   | Por_sleep
+  | Race_reversal
+  | Proviso_wake
+  | Invoke_prune
   | Symmetry_prune
   | Frontier_push
   | Steal
@@ -23,6 +26,9 @@ let kind_name = function
   | Cache_hit -> "cache_hit"
   | Cache_evict -> "cache_evict"
   | Por_sleep -> "por_sleep"
+  | Race_reversal -> "race_reversal"
+  | Proviso_wake -> "proviso_wake"
+  | Invoke_prune -> "invoke_prune"
   | Symmetry_prune -> "symmetry_prune"
   | Frontier_push -> "frontier_push"
   | Steal -> "steal"

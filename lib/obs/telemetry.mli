@@ -26,7 +26,16 @@ type kind =
   | Run_checked  (** a = depth; a maximal run was checked. *)
   | Cache_hit  (** a = depth, b = runs credited from the entry. *)
   | Cache_evict  (** a = evictions so far ({!Slx_core.Clock_cache}). *)
-  | Por_sleep  (** a = depth, b = decisions slept. *)
+  | Por_sleep  (** a = depth, b = decisions slept (sleep-set prune). *)
+  | Race_reversal
+      (** a = depth, b = sleepers woken by an observed conflict of the
+          step just executed (DPOR race reversal). *)
+  | Proviso_wake
+      (** a = depth, b = sleepers force-woken by the bounded-ignoring
+          cycle proviso ({!Slx_core.Live_explore}). *)
+  | Invoke_prune
+      (** a = depth, b = invocations pruned by the [invoke_order]
+          reduction ({!Slx_core.Live_explore}). *)
   | Symmetry_prune  (** a = depth, b = decisions pruned. *)
   | Frontier_push  (** a = frontier item id, b = item depth. *)
   | Steal  (** a = frontier item id, b = owner domain index. *)

@@ -76,6 +76,15 @@ let event_record buf ~t0 e =
   | Por_sleep ->
       record buf ~name:"por_sleep" ~cat:"reduce" ~ph:"i" ~ts ~tid
         ~args:[ ("depth", i e.ev_a); ("slept", i e.ev_b) ] ()
+  | Race_reversal ->
+      record buf ~name:"race_reversal" ~cat:"reduce" ~ph:"i" ~ts ~tid
+        ~args:[ ("depth", i e.ev_a); ("woken", i e.ev_b) ] ()
+  | Proviso_wake ->
+      record buf ~name:"proviso_wake" ~cat:"reduce" ~ph:"i" ~ts ~tid
+        ~args:[ ("depth", i e.ev_a); ("woken", i e.ev_b) ] ()
+  | Invoke_prune ->
+      record buf ~name:"invoke_prune" ~cat:"reduce" ~ph:"i" ~ts ~tid
+        ~args:[ ("depth", i e.ev_a); ("pruned", i e.ev_b) ] ()
   | Symmetry_prune ->
       record buf ~name:"symmetry_prune" ~cat:"reduce" ~ph:"i" ~ts ~tid
         ~args:[ ("depth", i e.ev_a); ("pruned", i e.ev_b) ] ()

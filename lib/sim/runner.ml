@@ -25,9 +25,10 @@ module Cursor = struct
     mutable crashed : Proc.Set.t;
     ticks : int ref;
     shadow : Runtime.shadow option;
+    probe : Runtime.probe option;
   }
 
-  let create ~n ~factory ?(ticks = ref 0) ?shadow () =
+  let create ~n ~factory ?(ticks = ref 0) ?shadow ?probe () =
     let registry = Runtime.fresh_registry () in
     let with_shadow f =
       match shadow with None -> f () | Some sh -> Runtime.with_shadow sh f
@@ -50,6 +51,7 @@ module Cursor = struct
       crashed = Proc.Set.empty;
       ticks;
       shadow;
+      probe;
     }
 
   let cell c p =
@@ -97,12 +99,19 @@ module Cursor = struct
         incr c.ticks)
 
   let apply c d =
-    match c.shadow with
-    | None -> apply_body c d
-    | Some sh -> Runtime.with_shadow sh (fun () -> apply_body c d)
+    let body () =
+      match c.shadow with
+      | None -> apply_body c d
+      | Some sh -> Runtime.with_shadow sh (fun () -> apply_body c d)
+    in
+    match c.probe with
+    | None -> body ()
+    | Some pr -> Runtime.with_probe pr body
 
-  let replay ~n ~factory ?ticks ?shadow decisions =
-    let c = create ~n ~factory ?ticks ?shadow () in
+  let probe c = c.probe
+
+  let replay ~n ~factory ?ticks ?shadow ?probe decisions =
+    let c = create ~n ~factory ?ticks ?shadow ?probe () in
     List.iter (apply c) decisions;
     c
 

@@ -53,6 +53,7 @@ module Cursor : sig
     factory:('inv, 'res) factory ->
     ?ticks:int ref ->
     ?shadow:Runtime.shadow ->
+    ?probe:Runtime.probe ->
     unit ->
     ('inv, 'res) t
   (** A cursor at the initial configuration of a fresh implementation
@@ -65,7 +66,14 @@ module Cursor : sig
       cell accesses made while this cursor executes algorithm code are
       checked (and, in record mode, logged) against declared footprints.
       A raising shadow propagates {!Runtime.Shadow_violation} out of
-      [apply]; the cursor must then be abandoned. *)
+      [apply]; the cursor must then be abandoned.
+
+      [probe] installs a dynamic-conflict probe
+      ({!Runtime.make_probe}) around every {!apply}: after a
+      [Schedule] grant, the probe holds the executed step's observed
+      accesses, from which the DPOR engines compute race reversals.
+      Engines share one probe across all of a domain's cursors (only
+      the last completed step is retained). *)
 
   val view : ('inv, 'res) t -> ('inv, 'res) Driver.view
   (** The driver-visible view of the current configuration. *)
@@ -81,11 +89,16 @@ module Cursor : sig
       are validated exactly as in {!run}; applying [Driver.Stop] raises
       [Invalid_argument]. *)
 
+  val probe : ('inv, 'res) t -> Runtime.probe option
+  (** The probe installed at creation, if any — after an {!apply} of a
+      [Schedule] decision it holds that step's observation. *)
+
   val replay :
     n:int ->
     factory:('inv, 'res) factory ->
     ?ticks:int ref ->
     ?shadow:Runtime.shadow ->
+    ?probe:Runtime.probe ->
     ('inv, 'res) Driver.decision list ->
     ('inv, 'res) t
   (** [replay ~n ~factory decisions] creates a fresh cursor and applies

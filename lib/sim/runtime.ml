@@ -260,6 +260,52 @@ let with_shadow sh f =
       slot := saved;
       raise e
 
+(* ------------------------------------------------------------------ *)
+(* Dynamic-conflict probe: the DPOR observed-access recorder.
+
+   Where the shadow {e validates} touches against declarations, the
+   probe merely {e records} what the last completed atomic step
+   physically touched (plus its effective footprint), so the
+   exploration engines can compute race reversals from dynamic
+   conflicts — what a step actually did in this configuration — instead
+   of declared footprints alone.  One probe per engine (per domain),
+   installed around [Runner.Cursor.apply] exactly like the shadow; with
+   no probe installed, [touch] stays one domain-local read and a
+   branch. *)
+
+type probe = {
+  mutable pr_steps : int;  (* atomic steps completed under this probe *)
+  mutable pr_eff : footprint;  (* effective footprint of the last step *)
+  mutable pr_touched : access list;  (* its physical touches, in order *)
+}
+
+let make_probe () =
+  { pr_steps = 0; pr_eff = of_accesses []; pr_touched = [] }
+
+let current_probe : probe option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_probe pr f =
+  let slot = Domain.DLS.get current_probe in
+  let saved = !slot in
+  slot := Some pr;
+  match f () with
+  | x ->
+      slot := saved;
+      x
+  | exception e ->
+      slot := saved;
+      raise e
+
+let probe_steps pr = pr.pr_steps
+let probe_last_effective pr = pr.pr_eff
+let probe_last_touched pr = pr.pr_touched
+
+let probe_last_observed pr =
+  match pr.pr_touched with
+  | [] -> pr.pr_eff  (* uninstrumented or touch-free: trust the declaration *)
+  | touched -> of_accesses touched
+
 let shadow_violations sh = List.rev sh.sh_violations
 let shadow_violation_count sh = List.length sh.sh_violations
 let shadow_steps sh = List.rev sh.sh_log
@@ -285,31 +331,41 @@ let violate sh v =
   if sh.sh_raise then raise (Shadow_violation v)
 
 let touch ~obj ~write =
-  match !(Domain.DLS.get current_shadow) with
-  | None -> ()
-  | Some sh ->
-      let fr = Domain.DLS.get frame_key in
-      if fr.fr_depth = 0 then
-        violate sh
-          {
-            v_kind = Outside_atomic;
-            v_obj = obj;
-            v_write = write;
-            v_pending = Opaque;
-            v_step = sh.sh_steps;
-          }
-      else begin
-        fr.fr_touched <- { obj; write } :: fr.fr_touched;
-        if not (covers fr.fr_eff (Access { obj; write })) then
+  let shadow = !(Domain.DLS.get current_shadow) in
+  if shadow <> None || !(Domain.DLS.get current_probe) <> None then begin
+    let fr = Domain.DLS.get frame_key in
+    if fr.fr_depth = 0 then (
+      (* Outside any atomic action: a violation when a shadow judges;
+         with only a probe installed there is no step to attribute the
+         touch to, so it is dropped (the sanitizer is the layer that
+         reports this contract breach). *)
+      match shadow with
+      | Some sh ->
           violate sh
             {
-              v_kind = Undeclared_touch;
+              v_kind = Outside_atomic;
               v_obj = obj;
               v_write = write;
-              v_pending = fr.fr_pending;
+              v_pending = Opaque;
               v_step = sh.sh_steps;
             }
-      end
+      | None -> ())
+    else begin
+      fr.fr_touched <- { obj; write } :: fr.fr_touched;
+      match shadow with
+      | Some sh ->
+          if not (covers fr.fr_eff (Access { obj; write })) then
+            violate sh
+              {
+                v_kind = Undeclared_touch;
+                v_obj = obj;
+                v_write = write;
+                v_pending = fr.fr_pending;
+                v_step = sh.sh_steps;
+              }
+      | None -> ()
+    end
+  end
 
 (* Step bracketing: [enter_step] as a grant begins executing its
    pending action, [leave_step] when the action's body returns (or
@@ -324,6 +380,12 @@ let enter_step fr fp =
 
 let leave_step fr =
   fr.fr_depth <- 0;
+  (match !(Domain.DLS.get current_probe) with
+  | None -> ()
+  | Some pr ->
+      pr.pr_steps <- pr.pr_steps + 1;
+      pr.pr_eff <- fr.fr_eff;
+      pr.pr_touched <- List.rev fr.fr_touched);
   (match !(Domain.DLS.get current_shadow) with
   | None -> ()
   | Some sh ->

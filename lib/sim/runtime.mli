@@ -166,7 +166,51 @@ val with_shadow : shadow -> (unit -> 'a) -> 'a
 
 val touch : obj:int -> write:bool -> unit
 (** Called by instrumented base-object primitives at every physical
-    cell access.  No-op unless a shadow is installed. *)
+    cell access.  No-op unless a shadow or a probe is installed. *)
+
+(** {2 Dynamic-conflict probe}
+
+    The source-set DPOR of {!Slx_core.Explore} and
+    {!Slx_core.Live_explore} computes race reversals from {e observed}
+    accesses — what an executed step physically touched in this
+    configuration — rather than from declared footprints alone.  A
+    probe records, per completed atomic step, the step's effective
+    footprint and its {!touch}es; unlike the shadow it validates
+    nothing and never raises.  Install one per engine (per domain)
+    with {!with_probe} (or [Runner.Cursor.create ~probe]); after each
+    [Schedule] grant the engine reads the last step's observation. *)
+
+type probe
+
+val make_probe : unit -> probe
+(** A fresh probe.  Until a step completes under it,
+    {!probe_last_observed} is the empty footprint and
+    {!probe_steps} is 0. *)
+
+val with_probe : probe -> (unit -> 'a) -> 'a
+(** [with_probe pr f] runs [f] with [pr] installed as the current
+    (domain-local) probe, restoring the previous one afterwards,
+    exceptions included. *)
+
+val probe_steps : probe -> int
+(** Atomic steps completed under the probe so far — lets an engine
+    check that a grant actually executed a step since it last read the
+    probe. *)
+
+val probe_last_effective : probe -> footprint
+(** The effective (pending ∪ nested) declared footprint of the last
+    completed step. *)
+
+val probe_last_touched : probe -> access list
+(** The physical touches of the last completed step, in program order
+    (empty when the step's base objects are uninstrumented or it
+    touched nothing). *)
+
+val probe_last_observed : probe -> footprint
+(** The observed footprint of the last completed step: its physical
+    touches when the instrumentation reported any, otherwise its
+    effective declared footprint — never weaker than what a
+    declared-footprint oracle would use on a clean implementation. *)
 
 (** {2 Shadow reports} *)
 

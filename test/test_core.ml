@@ -498,7 +498,7 @@ let test_explore_reduction_stats () =
   check_bool "register consensus safe under reductions" true
     (safe plain && safe reduced && safe bounded);
   let s = reduced.Explore.stats in
-  check_bool "POR put processes to sleep" true (s.Explore_stats.por_sleeps > 0);
+  check_bool "POR put processes to sleep" true (s.Explore_stats.por_prunes > 0);
   check_bool "symmetry pruned untouched-process decisions" true
     (s.Explore_stats.symmetry_pruned > 0);
   check_bool "reductions cut executed steps" true
@@ -507,7 +507,7 @@ let test_explore_reduction_stats () =
   check_bool "reductions explore fewer representatives" true
     (s.Explore_stats.runs < plain.Explore.stats.Explore_stats.runs);
   check_bool "plain engine sleeps and prunes nothing" true
-    (plain.Explore.stats.Explore_stats.por_sleeps = 0
+    (plain.Explore.stats.Explore_stats.por_prunes = 0
     && plain.Explore.stats.Explore_stats.symmetry_pruned = 0);
   let b = bounded.Explore.stats in
   check_bool "tiny cache evicts" true (b.Explore_stats.cache_evictions > 0);
