@@ -191,6 +191,98 @@ let checker_family_tests =
       (Staged.stage (fun () -> ignore (Slx_tm.S_prime.timestamp_rule h)));
   ]
 
+(* P6: hot-loop raw-speed microbenchmarks — the three operations the
+   compact-encoding pass rewrote, each against its predecessor, so the
+   claimed speedups (BENCH_explore.json "micro" rows, gated ≥2x by
+   bench/smoke.ml) are measured per-operation and not only end-to-end:
+   transposition keying (structural fingerprint lookup vs hash-consed
+   compact key), pending-step commutation (footprint list walk vs
+   conflict bitmask), and the sanitizer (shadowed vs bare run, now
+   batched per step). *)
+let micro_tests =
+  let one_proposal =
+    Slx_core.Explore.workload_invoke
+      (Driver.n_times 1 (fun p _ -> Slx_consensus.Consensus_type.Propose (p - 1)))
+  in
+  (* A mid-tree register-consensus configuration: the kind of cursor
+     the engine keys at every node. *)
+  let cursor =
+    let c =
+      Runner.Cursor.create ~n:2
+        ~factory:(Slx_consensus.Register_consensus.factory ()) ()
+    in
+    List.iter (Runner.Cursor.apply c)
+      [
+        Driver.Invoke (1, Slx_consensus.Consensus_type.Propose 0);
+        Driver.Schedule 1;
+        Driver.Invoke (2, Slx_consensus.Consensus_type.Propose 1);
+        Driver.Schedule 2;
+        Driver.Schedule 1;
+      ];
+    c
+  in
+  let struct_table = Hashtbl.create 64 in
+  Hashtbl.replace struct_table (Runner.Cursor.fingerprint cursor) 1;
+  let keys = Slx_core.Intern.Ints.create () in
+  let compact_table = Hashtbl.create 64 in
+  Hashtbl.replace compact_table
+    (Slx_core.Intern.Ints.intern keys (Runner.Cursor.compact_key cursor ~extra:[ 0 ]))
+    1;
+  let fp_a =
+    Runtime.of_accesses
+      [
+        { Runtime.obj = 1; write = true };
+        { Runtime.obj = 2; write = false };
+        { Runtime.obj = 3; write = false };
+      ]
+  and fp_b =
+    Runtime.of_accesses
+      [
+        { Runtime.obj = 2; write = false };
+        { Runtime.obj = 4; write = true };
+        { Runtime.obj = 5; write = false };
+      ]
+  in
+  let mask_a = Runtime.mask_of_footprint fp_a
+  and mask_b = Runtime.mask_of_footprint fp_b in
+  [
+    Test.make ~name:"micro/fingerprint-structural"
+      (Staged.stage (fun () ->
+           ignore
+             (Hashtbl.find_opt struct_table (Runner.Cursor.fingerprint cursor))));
+    Test.make ~name:"micro/fingerprint-compact"
+      (Staged.stage (fun () ->
+           ignore
+             (Hashtbl.find_opt compact_table
+                (Slx_core.Intern.Ints.intern keys
+                   (Runner.Cursor.compact_key cursor ~extra:[ 0 ])))));
+    Test.make ~name:"micro/shared-digest-full-fold"
+      (Staged.stage (fun () ->
+           ignore (Runner.Cursor.shared_digest_full cursor)));
+    Test.make ~name:"micro/shared-digest-incremental"
+      (Staged.stage (fun () -> ignore (Runner.Cursor.shared_digest cursor)));
+    Test.make ~name:"micro/commute-footprints"
+      (Staged.stage (fun () -> ignore (Runtime.footprints_commute fp_a fp_b)));
+    Test.make ~name:"micro/commute-masks"
+      (Staged.stage (fun () -> ignore (Runtime.masks_commute mask_a mask_b)));
+    Test.make ~name:"micro/explore-depth-8-sanitized"
+      (Staged.stage (fun () ->
+           ignore
+             (Slx_core.Explore.explore ~n:2
+                ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+                ~invoke:one_proposal ~depth:8 ~sanitize:true
+                ~check:(fun _ -> true)
+                ())));
+    Test.make ~name:"micro/explore-depth-8-bare"
+      (Staged.stage (fun () ->
+           ignore
+             (Slx_core.Explore.explore ~n:2
+                ~factory:(fun () -> Slx_consensus.Register_consensus.factory ())
+                ~invoke:one_proposal ~depth:8
+                ~check:(fun _ -> true)
+                ())));
+  ]
+
 (* P5: adversary games. *)
 let game_tests =
   [
@@ -212,7 +304,7 @@ let all_tests () =
   Test.make_grouped ~name:"slx"
     (lin_tests @ opacity_tests @ simulator_tests @ i12_tests
     @ snapshot_substitution_tests @ universal_tests @ explore_tests
-    @ checker_family_tests @ game_tests)
+    @ checker_family_tests @ micro_tests @ game_tests)
 
 let run () =
   let ols =

@@ -53,10 +53,17 @@ let run () =
       Printf.sprintf "\"speedup\": %.2f"
         (float_of_int t1 /. float_of_int (max 1 t4))
   in
+  (* This row is what BENCH_explore.json records under "scaling";
+     regenerate it with `dune exec bench/main.exe -- scaling` and paste
+     the printed object verbatim.  [recommended_domain_count] rides in
+     the row (not just the log line above) so a reader of the JSON can
+     judge whether the 4-domain timing measured parallelism or
+     single-core time-slicing, and [per_domain_steps] shows how evenly
+     the work-stealing fan-out balanced the load. *)
   Printf.printf
-    "  {\"case\": \"cas-depth-8-crashes-1-domains\", \"cores\": %d, \
-     \"domains_1_ns\": %d, \"domains_4_ns\": %d, %s, \"steals\": %d, \
-     \"per_domain_steps\": [%s]}\n"
+    "  {\"case\": \"cas-depth-8-crashes-1-domains\", \
+     \"recommended_domain_count\": %d, \"domains_1_ns\": %d, \
+     \"domains_4_ns\": %d, %s, \"steals\": %d, \"per_domain_steps\": [%s]}\n"
     cores t1 t4 speedup_field
     st4.Slx_core.Explore_stats.steals
     (String.concat ", "

@@ -403,8 +403,27 @@ let explore_cmd =
              ~doc:"Arm the footprint sanitizer (counting mode): report \
                    violations in the stats without changing the verdict.")
   in
+  let no_compact_arg =
+    Arg.(value & flag
+         & info [ "no-compact" ]
+             ~doc:"Key the transposition cache on structural fingerprints \
+                   instead of hash-consed compact encodings (slower; \
+                   verdict-identical).")
+  in
+  let bitstate_arg =
+    let doc =
+      "Replace the exact transposition cache with SPIN-style hash \
+       compaction: a 2^$(docv)-bit table of fingerprint hashes (4-30). \
+       Bounded memory, but hits may be hash collisions, so a clean \
+       verdict is no longer exhaustive; the reported \
+       bitstate_collision_probability quantifies the risk."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "bitstate" ] ~doc ~docv:"BITS")
+  in
   let run impl depth max_crashes domains no_cache cache_capacity no_por
-      no_dpor no_symmetry json naive sanitize trace progress progress_json =
+      no_dpor no_symmetry json naive sanitize no_compact bitstate trace
+      progress progress_json =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -444,7 +463,7 @@ let explore_cmd =
             Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes
               ~cache:(not no_cache) ?cache_capacity ~por:(not no_por)
               ~dpor:(not no_dpor) ~symmetry:(not no_symmetry) ~domains ~obs
-              ~sanitize ~check ()
+              ~sanitize ~compact:(not no_compact) ?bitstate ~check ()
         in
         write_trace obs trace;
         if json then begin
@@ -490,7 +509,8 @@ let explore_cmd =
     Term.(
       const run $ impl_arg $ depth_arg $ crashes_arg $ domains_arg
       $ no_cache_arg $ cache_capacity_arg $ no_por_arg $ no_dpor_arg
-      $ no_symmetry_arg $ json_arg $ naive_arg $ sanitize_arg $ trace_arg
+      $ no_symmetry_arg $ json_arg $ naive_arg $ sanitize_arg
+      $ no_compact_arg $ bitstate_arg $ trace_arg
       $ progress_arg $ progress_json_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -574,9 +594,16 @@ let live_explore_cmd =
              ~doc:"Emit the verdict, certificate and statistics as one \
                    JSON object.")
   in
+  let no_compact_arg =
+    Arg.(value & flag
+         & info [ "no-compact" ]
+             ~doc:"Key the suffix cache on structural fingerprints instead \
+                   of hash-consed compact encodings (slower; verdict- and \
+                   certificate-identical).")
+  in
   let run impl property n depth max_crashes max_period pump_ticks invoke_order
-      no_dpor proviso_bound no_cache cache_capacity sanitize json trace
-      progress progress_json =
+      no_dpor proviso_bound no_cache cache_capacity sanitize no_compact json
+      trace progress progress_json =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -620,7 +647,7 @@ let live_explore_cmd =
           Live_explore.search ~n ~factory ~invoke ~good ~point ~depth
             ~max_crashes ?max_period ?pump_ticks ~invoke_order
             ~dpor:(not no_dpor) ?proviso_bound ~cache:(not no_cache)
-            ?cache_capacity ~sanitize ~obs ()
+            ?cache_capacity ~sanitize ~compact:(not no_compact) ~obs ()
         in
         write_trace obs trace;
         let dec_string = function
@@ -686,7 +713,8 @@ let live_explore_cmd =
       const run $ impl_arg $ property_arg $ procs_arg $ depth_arg $ crashes_arg
       $ max_period_arg $ pump_arg $ invoke_order_arg $ no_dpor_arg
       $ proviso_arg $ no_cache_arg $ cache_capacity_arg $ sanitize_arg
-      $ json_arg $ trace_arg $ progress_arg $ progress_json_arg)
+      $ no_compact_arg $ json_arg $ trace_arg $ progress_arg
+      $ progress_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stats — replay a saved trace into histograms                        *)

@@ -142,7 +142,11 @@ let run_case ?(bound = `Runtest) ?depth ?(oracle = false) ?(detect = true)
   (* One shared shadow for the whole sweep: violations raise (under
      [detect]); declaration statistics aggregate across every cursor,
      prefix replays included, so [touched_steps = 0] at the end means
-     the object was never touched on any audited run. *)
+     the object was never touched on any audited run.  The audit stays
+     on the per-touch shadow deliberately: raising at the offending
+     access and attributing each touch to a step is the product here,
+     whereas the batched per-step frame the explorers use under
+     [--sanitize] trades that attribution away for speed. *)
   let shadow = Runtime.make_shadow ~record:false ~raise_on_violation:detect () in
   let found = ref None in
   let runs = ref 0 in

@@ -1,0 +1,74 @@
+(* SPIN/TLC-style hash compaction ("bitstate hashing", Holzmann '87):
+   when the exact transposition cache cannot fit, store only k = 2
+   hash-derived bit positions per visited configuration in a flat
+   2^bits-bit table.  Membership is approximate in one direction only:
+   a miss is definitely a new configuration, a hit may be a collision
+   — so bitstate pruning can silently skip unexplored states and the
+   verdict becomes "no violation found in the states examined", not a
+   proof.  The table reports its own saturation honestly:
+   [collision_probability] is the standard Bloom-filter bound
+   (1 - e^(-kn/m))^k for n insert attempts into m bits with k probes,
+   surfaced in [Explore_stats] and the CLI so a saturated table reads
+   as the approximation it is. *)
+
+type t = {
+  bits : int;
+  data : Bytes.t;
+  index_mask : int;
+  mutable adds : int;  (* membership queries = states attempted *)
+  mutable hits : int;  (* both probe bits already set *)
+  mutable marks : int;  (* bits actually set *)
+}
+
+let create ~bits =
+  if bits < 4 || bits > 30 then
+    invalid_arg "Bitstate.create: bits must be in [4, 30]";
+  {
+    bits;
+    data = Bytes.make (1 lsl (bits - 3)) '\000';
+    index_mask = (1 lsl bits) - 1;
+    adds = 0;
+    hits = 0;
+    marks = 0;
+  }
+
+let bits t = t.bits
+let adds t = t.adds
+let hits t = t.hits
+let marks t = t.marks
+
+let probe_get t i =
+  Char.code (Bytes.unsafe_get t.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let probe_set t i =
+  let byte = i lsr 3 in
+  let b = Char.code (Bytes.unsafe_get t.data byte) in
+  let b' = b lor (1 lsl (i land 7)) in
+  if b' <> b then begin
+    Bytes.unsafe_set t.data byte (Char.unsafe_chr b');
+    t.marks <- t.marks + 1
+  end
+
+(* Two probe positions from independent slices of the (remixed) 64-bit
+   key: the classic double-hashing scheme with k = 2. *)
+let test_and_set t h =
+  t.adds <- t.adds + 1;
+  let h1 = h land t.index_mask in
+  let h2 = Slx_sim.Runtime.mix64 (h lxor 0x9E3779B97F4A7C1) land t.index_mask in
+  if probe_get t h1 && probe_get t h2 then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    probe_set t h1;
+    probe_set t h2;
+    false
+  end
+
+let collision_probability ~bits ~adds =
+  if adds <= 0 then 0.0
+  else
+    let m = float_of_int (1 lsl bits) in
+    let n = float_of_int adds in
+    let p = 1.0 -. exp (-2.0 *. n /. m) in
+    p *. p

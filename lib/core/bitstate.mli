@@ -1,0 +1,46 @@
+(** SPIN/TLC-style hash compaction: a flat 2^bits-bit table storing two
+    hash-derived bit positions per visited configuration, used by
+    {!Explore} as a bounded-memory stand-in for the exact transposition
+    cache ([--bitstate BITS]).
+
+    Membership is one-sided: {!test_and_set} returning [false]
+    guarantees the configuration was never inserted; returning [true]
+    may be a hash collision, so bitstate pruning can skip genuinely new
+    states and a clean verdict means "no violation found in the states
+    examined" — not exhaustiveness.  The table quantifies its own
+    unreliability: {!collision_probability} is the Bloom bound
+    [(1 - e^(-kn/m))^k] with [k = 2] probes, [m = 2^bits] bits and
+    [n] insert attempts, reported in {!Explore_stats} so an undersized
+    table reads as the approximation it is.
+
+    Safety-side only: {!Live_explore} keeps its exact suffix cache,
+    because a false hit there would silently truncate the fair-cycle
+    search and [No_fair_cycle] is an exhaustiveness claim — see
+    doc/model.md §10. *)
+
+type t
+
+val create : bits:int -> t
+(** A fresh all-zero table of [2^bits] bits ([2^(bits-3)] bytes).
+    @raise Invalid_argument unless [4 <= bits <= 30]. *)
+
+val test_and_set : t -> int -> bool
+(** [test_and_set t h] queries-and-inserts the configuration whose
+    64-bit fingerprint hash is [h]: [true] if both probe positions
+    were already set (seen before, up to collision), [false] (and the
+    bits are set) if it is definitely new. *)
+
+val bits : t -> int
+val adds : t -> int
+(** Insert attempts so far (the [n] of the collision bound). *)
+
+val hits : t -> int
+(** Queries that returned [true]. *)
+
+val marks : t -> int
+(** Bits actually set (table occupancy: [marks / 2^bits]). *)
+
+val collision_probability : bits:int -> adds:int -> float
+(** The Bloom bound [(1 - e^(-2n/m))^2], [m = 2^bits]: the probability
+    that a fresh configuration false-positives against a table that
+    absorbed [adds] attempts. *)

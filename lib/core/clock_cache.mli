@@ -11,6 +11,13 @@
     table is unbounded and behaves like a plain [Hashtbl] (no ring
     bookkeeping at all).
 
+    Keys are hashed polymorphically, so their shape is the dominant
+    per-lookup cost: the explorers key this cache by hash-consed
+    {!Intern} ids (small-int tuples) when compact encodings are on,
+    and fall back to structural fingerprints under [--no-compact] —
+    both hash to the same buckets consistently, but only the former is
+    O(1) per probe regardless of history depth.
+
     Not thread-safe; the explorer gives each domain its own cache. *)
 
 type ('k, 'v) t

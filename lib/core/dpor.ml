@@ -45,3 +45,29 @@ let advance ~observed ~pending sleep d =
   | Driver.Invoke _ | Driver.Stop -> (sleep, [])
   | Driver.Schedule _ ->
       List.partition (fun z -> not (wakes ~observed ~pending:(pending z))) sleep
+
+(* ------------------------------------------------------------------ *)
+(* Bitmask forms of the oracle above: same verdicts, no list walks.
+   The engines precompute pending masks at suspension
+   ([Runner.Cursor.pending_mask]) and the probe precomputes its
+   observation mask at step end, so the per-decision race check is two
+   word ANDs ([Runtime.masks_commute]). *)
+
+let observed_step_mask ~probe ~declared =
+  match probe with
+  | Some pr -> Runtime.probe_last_observed_mask pr
+  | None -> Option.value declared ~default:Runtime.opaque_mask
+
+let wakes_mask ~observed ~pending =
+  match pending with
+  | None -> true
+  | Some m -> not (Runtime.masks_commute observed m)
+
+let advance_mask ~observed ~pending sleep d =
+  match d with
+  | Driver.Crash _ -> ([], [])
+  | Driver.Invoke _ | Driver.Stop -> (sleep, [])
+  | Driver.Schedule _ ->
+      List.partition
+        (fun z -> not (wakes_mask ~observed ~pending:(pending z)))
+        sleep

@@ -69,3 +69,31 @@ val advance :
     not a race reversal); [Invoke] is local and keeps everyone;
     [Schedule] wakes exactly the sleepers racing with [observed] —
     the race reversals the engines count and re-explore. *)
+
+(** {1 Bitmask forms}
+
+    The same oracle on precomputed {!Slx_sim.Runtime.mask}s — the
+    representation the engines' hot paths use ([Runner.Cursor.pending_mask]
+    for sleepers, {!Slx_sim.Runtime.probe_last_observed_mask} for the
+    executed step), turning each race check into two word operations.
+    Verdict-identical to the footprint forms above by
+    [masks_commute ∘ mask_of_footprint = footprints_commute]
+    (QCheck-tested in [test/test_compact.ml]). *)
+
+val observed_step_mask :
+  probe:Runtime.probe option ->
+  declared:Runtime.mask option ->
+  Runtime.mask
+(** {!observed_step} on masks. *)
+
+val wakes_mask :
+  observed:Runtime.mask -> pending:Runtime.mask option -> bool
+(** {!wakes} on masks. *)
+
+val advance_mask :
+  observed:Runtime.mask ->
+  pending:(Proc.t -> Runtime.mask option) ->
+  Proc.t list ->
+  ('inv, 'res) Driver.decision ->
+  Proc.t list * Proc.t list
+(** {!advance} on masks. *)

@@ -112,11 +112,32 @@ let decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry view len crashes =
    sleep set: the same configuration reached with different sleep sets
    explores different reduced subtrees, so they must not share an
    entry.  With POR off the sleep set is always [] and keys degenerate
-   to plain fingerprints. *)
-type ('inv, 'res) key = {
-  k_fp : ('inv, 'res) Runner.fingerprint;
-  k_sleep : Proc.t list;
-}
+   to plain fingerprints.
+
+   Two representations, verdict-identical (the differential suite in
+   test/test_compact.ml checks runs, digests and witnesses agree):
+
+   - [K_struct]: the structural form — deep fingerprint record plus
+     sleep list, hashed and compared structurally on every lookup.
+   - [K_compact]: the hash-consed form (the default) — the cursor's
+     [compact_key] int array (incrementally interned history id,
+     digests, packed per-process state) with the sleep set appended as
+     a bitset, interned into a dense id ({!Intern.Ints}), so cache
+     lookups hash one immediate int instead of a deep term.  Equality
+     of compact keys coincides with equality of structural keys up to
+     the digest collisions the structural form already accepts
+     (interning is injective; QCheck-tested). *)
+type ('inv, 'res) key =
+  | K_struct of {
+      k_fp : ('inv, 'res) Runner.fingerprint;
+      k_sleep : Proc.t list;
+    }
+  | K_compact of int
+
+(* Sleep sets as bitsets for the compact key: sound only when every
+   process id fits a word, which the engine checks before electing
+   compact mode ([n < 62]). *)
+let sleep_bits sleep = List.fold_left (fun acc p -> acc lor (1 lsl p)) 0 sleep
 
 (* A counterexample as first found: decision-tree rank (root-first
    child indices in the reduced menus — the tie-breaker that makes the
@@ -162,6 +183,20 @@ type ('inv, 'res) dstate = {
          cursors: records what each executed step physically touched,
          from which the dynamic sleep-set filter computes race
          reversals.  Recording only — decisions are unchanged. *)
+  encode : (int -> ('inv, 'res) Event.t -> int) option;
+      (* Compact-key mode: the hash-consing hook every cursor of this
+         domain is created with.  It interns each appended event, then
+         the (previous history id, event id) pair, so the cursor's
+         [hist_id] stands in for its whole history — per-domain pools,
+         like the cache, so domains stay share-nothing. *)
+  keys : Intern.Ints.t;
+      (* Compact-key pool: interns the flat [compact_key] arrays into
+         the dense ids the transposition cache is keyed on. *)
+  bitstate : Bitstate.t option;
+      (* Hash-compaction mode: replaces the exact transposition cache
+         with a 2^bits-bit table of fingerprint hashes.  One-sided —
+         a hit may be a collision, so the mode trades exhaustiveness
+         for bounded memory and reports its own collision bound. *)
 }
 
 and entry = { e_runs : int; e_digest : int }
@@ -179,7 +214,17 @@ let zero_sample =
   }
 
 let new_state ~index ?capacity ~sink ?(progress = Progress.off)
-    ?(sanitize = false) ?(dpor = false) () =
+    ?(sanitize = false) ?(dpor = false) ?(compact = false) ?bitstate () =
+  let encode =
+    if not compact then None
+    else begin
+      let events = Intern.create () in
+      let conses = Intern.create () in
+      Some
+        (fun parent e ->
+          Intern.intern conses (parent, Intern.intern events e))
+    end
+  in
   {
     index;
     sink;
@@ -204,6 +249,9 @@ let new_state ~index ?capacity ~sink ?(progress = Progress.off)
          Some (Runtime.make_shadow ~record:false ~raise_on_violation:false ())
        else None);
     probe = (if dpor then Some (Runtime.make_probe ()) else None);
+    encode;
+    keys = Intern.Ints.create ();
+    bitstate = Option.map (fun bits -> Bitstate.create ~bits) bitstate;
   }
 
 let stats_of_states ~domains_used ~elapsed_ns ~events_dropped states :
@@ -235,6 +283,19 @@ let stats_of_states ~domains_used ~elapsed_ns ~events_dropped states :
           match st.shadow with
           | Some sh -> Runtime.shadow_violation_count sh
           | None -> 0);
+        bitstate_bits =
+          (match st.bitstate with
+          | Some bs -> max acc.Explore_stats.bitstate_bits (Bitstate.bits bs)
+          | None -> acc.Explore_stats.bitstate_bits);
+        bitstate_adds =
+          (acc.Explore_stats.bitstate_adds
+          + match st.bitstate with Some bs -> Bitstate.adds bs | None -> 0);
+        bitstate_hits =
+          (acc.Explore_stats.bitstate_hits
+          + match st.bitstate with Some bs -> Bitstate.hits bs | None -> 0);
+        bitstate_marks =
+          (acc.Explore_stats.bitstate_marks
+          + match st.bitstate with Some bs -> Bitstate.marks bs | None -> 0);
         history_digest = acc.history_digest + st.digest;
       })
     {
@@ -355,15 +416,21 @@ let record_witness shared ((rank, _, _) as w) =
 
 let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
     ?cache_capacity ?(por = false) ?(dpor = false) ?(symmetry = false)
-    ?(domains = 1) ?(obs = Obs.disabled) ?(sanitize = false) ~check () =
+    ?(domains = 1) ?(obs = Obs.disabled) ?(sanitize = false) ?(compact = true)
+    ?bitstate ~check () =
   let t0 = Clock.now_ns () in
   (* [reduce]: the sleep-set walk runs; [dpor] selects the dynamic
      observed-access oracle over the declared-footprint one. *)
   let reduce = por || dpor in
+  (* Compact keys only matter when the exact cache is live: bitstate
+     mode hashes the structural fingerprint directly (interning every
+     visited configuration would defeat its bounded-memory point), and
+     the sleep bitset needs every process id to fit a word. *)
+  let compact = compact && cache && bitstate = None && n < 62 in
   let menu = decision_menu ~n ~invoke ~depth ~max_crashes ~symmetry in
   let make_cursor st =
     Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks
-      ?shadow:st.shadow ?probe:st.probe ()
+      ?shadow:st.shadow ?probe:st.probe ?encode:st.encode ()
   in
   (* Under DPOR, a child's sleep set is only a {e candidate} until its
      edge executes: the dynamic filter then wakes the sleepers whose
@@ -372,10 +439,10 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
   let settle_sleep st cursor d candidate len =
     if not dpor then candidate
     else begin
-      let observed = Dpor.observed_step ~probe:st.probe ~declared:None in
+      let observed = Dpor.observed_step_mask ~probe:st.probe ~declared:None in
       let keep, woken =
-        Dpor.advance ~observed
-          ~pending:(fun z -> Runner.Cursor.pending cursor z)
+        Dpor.advance_mask ~observed
+          ~pending:(fun z -> Runner.Cursor.pending_mask cursor z)
           candidate d
       in
       (match woken with
@@ -418,10 +485,30 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
     end
     else visit_body sh st cursor rev_script rev_rank len crashes sleep
   and visit_body sh st cursor rev_script rev_rank len crashes sleep =
+    match st.bitstate with
+    | Some bs
+      when Bitstate.test_and_set bs
+             (Runtime.hash_value
+                (K_struct
+                   { k_fp = Runner.Cursor.fingerprint cursor; k_sleep = sleep }))
+      ->
+        (* Bitstate hit: the configuration's compacted hash was seen
+           before — prune without crediting anything (the table stores
+           no subtree data, and the hit may be a collision; the stats
+           carry the Bloom bound that quantifies how often). *)
+        st.hits <- st.hits + 1;
+        Telemetry.emit st.sink Telemetry.Cache_hit len 0;
+        true
+    | _ ->
     let key =
-      if cache then
-        Some { k_fp = Runner.Cursor.fingerprint cursor; k_sleep = sleep }
-      else None
+      if not cache || st.bitstate <> None then None
+      else if compact then
+        Some
+          (K_compact
+             (Intern.Ints.intern st.keys
+                (Runner.Cursor.compact_key cursor ~extra:[ sleep_bits sleep ])))
+      else
+        Some (K_struct { k_fp = Runner.Cursor.fingerprint cursor; k_sleep = sleep })
     in
     match Option.bind key (Clock_cache.find_opt st.table) with
     | Some e ->
@@ -492,12 +579,16 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
                 true
             | _ ->
                 let runs0 = st.runs and digest0 = st.digest in
-                let pend p = Runner.Cursor.pending cursor p in
+                let pend p = Runner.Cursor.pending_mask cursor p in
                 let commutes z d =
                   match d with
                   | Driver.Schedule q when not (Proc.equal q z) -> begin
+                      (* Precomputed conflict masks: the commutation
+                         check is two word ANDs ([masks_commute]),
+                         verdict-identical to [footprints_commute] on
+                         the declared footprints. *)
                       match (pend z, pend q) with
-                      | Some a, Some b -> Runtime.footprints_commute a b
+                      | Some a, Some b -> Runtime.masks_commute a b
                       | _ -> false
                     end
                   | Driver.Invoke (q, _) when not (Proc.equal q z) ->
@@ -634,7 +725,7 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
     let st =
       new_state ~index:0 ?capacity:cache_capacity
         ~sink:(Obs.sink obs ~index:0) ~progress:(Obs.progress obs) ~sanitize
-        ~dpor ()
+        ~dpor ~compact ?bitstate ()
     in
     wire_progress obs [| st |] (fun () -> 0);
     let root = make_cursor st in
@@ -668,7 +759,7 @@ let explore ~n ~factory ~invoke ~depth ?(max_crashes = 0) ?(cache = true)
           new_state ~index:i ?capacity:cache_capacity
             ~sink:(Obs.sink obs ~index:i)
             ~progress:(if i = 0 then progress else Progress.off)
-            ~sanitize ~dpor ())
+            ~sanitize ~dpor ~compact ?bitstate ())
     in
     wire_progress obs states (fun () -> Atomic.get shared.outstanding);
     let root_id = Atomic.fetch_and_add shared.next_item 1 in

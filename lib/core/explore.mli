@@ -112,6 +112,8 @@ val explore :
   ?domains:int ->
   ?obs:Slx_obs.Obs.t ->
   ?sanitize:bool ->
+  ?compact:bool ->
+  ?bitstate:int ->
   check:(('inv, 'res) Run_report.t -> bool) ->
   unit ->
   ('inv, 'res) exploration
@@ -173,7 +175,34 @@ val explore :
     exactly the decisions — and returns exactly the outcome, stats
     (beyond [footprint_violations]) and witness — of an unsanitized
     one.  For raising shadows with replayable witnesses use
-    {!Slx_analysis.Audit} instead. *)
+    {!Slx_analysis.Audit} instead.
+
+    [compact] (default [true]) keys the transposition cache on
+    hash-consed encodings: every cursor carries an incremental interned
+    history id, and cache keys become dense small ints
+    ({!Slx_sim.Runner.Cursor.compact_key}, {!Intern}) instead of deep
+    structural terms.  Interning is injective, so verdicts, stats and
+    witnesses are identical to [~compact:false] up to the digest
+    collisions the structural fingerprint already accepts (the
+    differential suite in test/test_compact.ml checks this on the full
+    audit registry); pass [~compact:false] to retain the structural
+    keys.  Compact mode is silently ignored when the cache is off,
+    when bitstate mode is on, or when [n >= 62] (the sleep bitset
+    would overflow a word).
+
+    [bitstate] switches the transposition store to SPIN-style hash
+    compaction ({!Bitstate}): a [2^bitstate]-bit table of fingerprint
+    hashes replaces the exact cache, bounding memory at
+    [2^(bitstate-3)] bytes per domain.  Membership is one-sided — a
+    hit may be a hash collision, so pruned subtrees may contain
+    unexplored states: [Ok] then means {e no violation found}, not
+    exhaustiveness, and the stats report the Bloom collision bound
+    ({!Explore_stats.bitstate_collision_probability}) quantifying the
+    risk.  Counterexamples remain sound (a found violation is real and
+    replayable).  Hits credit no cached run counts, so [runs] counts
+    only runs actually checked.  Safety-side only by design: the
+    fair-cycle search keeps its exact cache ({!Live_explore}).
+    @raise Invalid_argument unless [4 <= bitstate <= 30]. *)
 
 val explore_naive :
   n:int ->

@@ -20,6 +20,10 @@ type t = {
   hb_edges : int;
   commutation_checks : int;
   footprint_violations : int;
+  bitstate_bits : int;
+  bitstate_adds : int;
+  bitstate_hits : int;
+  bitstate_marks : int;
   per_domain_runs : (int * int) list;
   per_domain_steps : (int * int) list;
   elapsed_ns : int;
@@ -50,6 +54,10 @@ let zero =
     hb_edges = 0;
     commutation_checks = 0;
     footprint_violations = 0;
+    bitstate_bits = 0;
+    bitstate_adds = 0;
+    bitstate_hits = 0;
+    bitstate_marks = 0;
     per_domain_runs = [];
     per_domain_steps = [];
     elapsed_ns = 0;
@@ -88,6 +96,14 @@ let merge a b =
     hb_edges = a.hb_edges + b.hb_edges;
     commutation_checks = a.commutation_checks + b.commutation_checks;
     footprint_violations = a.footprint_violations + b.footprint_violations;
+    (* Every bitstate domain uses the same table size, so [max] keeps
+       it; the collision bound is then computed per 2^bits table from
+       the summed attempt count — conservative (as if one table
+       absorbed every attempt), never optimistic. *)
+    bitstate_bits = max a.bitstate_bits b.bitstate_bits;
+    bitstate_adds = a.bitstate_adds + b.bitstate_adds;
+    bitstate_hits = a.bitstate_hits + b.bitstate_hits;
+    bitstate_marks = a.bitstate_marks + b.bitstate_marks;
     per_domain_runs = by_index (a.per_domain_runs @ b.per_domain_runs);
     per_domain_steps = by_index (a.per_domain_steps @ b.per_domain_steps);
     elapsed_ns = a.elapsed_ns + b.elapsed_ns;
@@ -96,6 +112,13 @@ let merge a b =
   }
 
 let values rows = List.map snd rows
+
+(* The Bloom bound for the bitstate table (k = 2 probes), computed
+   from the recorded table size and attempt count so every consumer
+   (pp, JSON, gates) reports the same number. *)
+let bitstate_collision_probability s =
+  if s.bitstate_bits = 0 then 0.0
+  else Bitstate.collision_probability ~bits:s.bitstate_bits ~adds:s.bitstate_adds
 
 let pp_int_list rs = String.concat ", " (List.map string_of_int rs)
 
@@ -131,6 +154,12 @@ let pp fmt s =
     Format.fprintf fmt
       "@,sanitizer:        %d violations, %d hb edges, %d commutation checks"
       s.footprint_violations s.hb_edges s.commutation_checks;
+  if s.bitstate_bits > 0 then
+    Format.fprintf fmt
+      "@,bitstate:         2^%d bits, %d marked, %d attempts, %d hits, \
+       collision probability %.2e (NOT exhaustive)"
+      s.bitstate_bits s.bitstate_marks s.bitstate_adds s.bitstate_hits
+      (bitstate_collision_probability s);
   if s.events_dropped > 0 then
     Format.fprintf fmt "@,telemetry:        %d events dropped (ring overflow)"
       s.events_dropped;
@@ -160,6 +189,8 @@ let to_json s =
      \"cycles_examined\": %d, \"fair_cycles\": %d, \
      \"domains_used\": %d, \"steals\": %d, \"hb_edges\": %d, \
      \"commutation_checks\": %d, \"footprint_violations\": %d, \
+     \"bitstate_bits\": %d, \"bitstate_adds\": %d, \"bitstate_hits\": %d, \
+     \"bitstate_marks\": %d, \"bitstate_collision_probability\": %g, \
      \"per_domain_runs\": %s, \
      \"per_domain_steps\": %s, \"elapsed_ns\": %d, \"events_dropped\": %d, \
      \"history_digest\": %d}"
@@ -168,7 +199,9 @@ let to_json s =
     s.por_prunes s.race_reversals s.invoke_order_prunes s.proviso_wakes
     s.symmetry_pruned s.cycles_examined s.fair_cycles
     s.domains_used s.steals s.hb_edges s.commutation_checks
-    s.footprint_violations
+    s.footprint_violations s.bitstate_bits s.bitstate_adds s.bitstate_hits
+    s.bitstate_marks
+    (bitstate_collision_probability s)
     (json_pair_list s.per_domain_runs)
     (json_pair_list s.per_domain_steps)
     s.elapsed_ns s.events_dropped s.history_digest

@@ -82,6 +82,17 @@ type t = {
           touches outside any atomic action.  Always 0 for a clean
           implementation; engines running with [~sanitize:true] count
           without raising. *)
+  bitstate_bits : int;
+      (** Table size exponent of the bitstate/hash-compaction mode
+          ({!Bitstate}): 0 when the exact transposition cache was used
+          (the default), else the [--bitstate BITS] value. *)
+  bitstate_adds : int;
+      (** Bitstate insert attempts (the [n] of the collision bound). *)
+  bitstate_hits : int;
+      (** Bitstate queries answered "seen" — subtrees pruned on a
+          compacted hash, each possibly a collision. *)
+  bitstate_marks : int;
+      (** Bits set in the bitstate table (occupancy numerator). *)
   per_domain_runs : (int * int) list;
       (** Maximal runs accounted per domain, as
           [(spawn index, runs)] pairs sorted by spawn index (empty for
@@ -126,6 +137,13 @@ val merge : t -> t -> t
 val values : (int * int) list -> int list
 (** Drop the spawn indices of a [per_domain_*] list, keeping the
     values in spawn order. *)
+
+val bitstate_collision_probability : t -> float
+(** The Bloom bound [(1 - e^(-2n/m))^2] of the recorded bitstate table
+    ([m = 2^bitstate_bits], [n = bitstate_adds]); 0 when bitstate mode
+    was off.  Reported in {!pp} and {!to_json}
+    ([bitstate_collision_probability]) so a bitstate verdict carries
+    its own error bar. *)
 
 val pp : Format.formatter -> t -> unit
 

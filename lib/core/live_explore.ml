@@ -28,11 +28,22 @@ exception Found_lasso
    sleeper's ignoring streak (the proviso counter), so [k_sleep] joins
    the key; with DPOR off it is always [] and keys degenerate to the
    old shape. *)
-type ('inv, 'res) key = {
-  k_fp : ('inv, 'res) Runner.fingerprint;
-  k_cells : string list list;
-  k_sleep : (Proc.t * int) list;
-}
+(* As in {!Explore}, two verdict-identical representations: the
+   structural form, and the hash-consed compact form (default) where
+   the fingerprint is the cursor's [compact_key] array, each abstract
+   trace cell is an interned id (the walk interns cells as it emits
+   them, so the suffix is already a small-int list), and each sleeper
+   is one packed [(streak << 8) | proc] int — the whole key then
+   interns to a single dense id.  No bitstate variant here, ever: a
+   false hit would silently truncate the fair-cycle search, and
+   [No_fair_cycle] is an exhaustiveness claim (doc/model.md §10). *)
+type ('inv, 'res) key =
+  | K_struct of {
+      k_fp : ('inv, 'res) Runner.fingerprint;
+      k_cells : string list list;
+      k_sleep : (Proc.t * int) list;
+    }
+  | K_compact of int
 
 type ('inv, 'res) state = {
   sink : Telemetry.sink;
@@ -56,6 +67,15 @@ type ('inv, 'res) state = {
   probe : Runtime.probe option;
       (* DPOR observed-access probe shared by all cursors of this
          (sequential) search; recording only. *)
+  encode : (int -> ('inv, 'res) Event.t -> int) option;
+      (* Compact-key mode: the hash-consing hook every cursor is
+         created with (see {!Explore}). *)
+  cells_pool : string list Intern.t;
+      (* Compact-key mode: interns abstract trace cells, so the key's
+         trace suffix is a list of small ints. *)
+  keys : Intern.Ints.t;
+      (* Compact-key pool: interns the flat key arrays into the dense
+         ids the suffix cache is keyed on. *)
 }
 
 let zero_sample =
@@ -71,7 +91,17 @@ let zero_sample =
   }
 
 let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off)
-    ?(sanitize = false) ?(dpor = false) () =
+    ?(sanitize = false) ?(dpor = false) ?(compact = false) () =
+  let encode =
+    if not compact then None
+    else begin
+      let events = Intern.create () in
+      let conses = Intern.create () in
+      Some
+        (fun parent e ->
+          Intern.intern conses (parent, Intern.intern events e))
+    end
+  in
   {
     sink;
     progress;
@@ -95,6 +125,9 @@ let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off)
          Some (Runtime.make_shadow ~record:false ~raise_on_violation:false ())
        else None);
     probe = (if dpor then Some (Runtime.make_probe ()) else None);
+    encode;
+    cells_pool = Intern.create ();
+    keys = Intern.Ints.create ();
   }
 
 (* Install the progress sample: the live search is sequential, so the
@@ -267,7 +300,7 @@ let eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks ~blocked
 let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
     ?max_period ?pump_ticks ?(invoke_order = false) ?(dpor = false)
     ?proviso_bound ?(cache = true) ?cache_capacity ?(obs = Obs.disabled)
-    ?(sanitize = false) () =
+    ?(sanitize = false) ?(compact = true) () =
   let t0 = Clock.now_ns () in
   (* Default period bound: ceil(depth / 2), the largest period for
      which two full repetitions fit in a depth-bounded suffix at {e
@@ -289,10 +322,13 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
      graph either), and larger bounds can ignore a transition across a
      whole short cycle and silently miss its lasso. *)
   let proviso_bound = Option.value proviso_bound ~default:2 in
+  (* Compact keys need the cache to be live and every packed
+     [(streak << 8) | proc] sleeper entry to be unambiguous. *)
+  let compact = compact && cache && n < 62 in
   let st =
     new_state ?capacity:cache_capacity
       ~sink:(Obs.sink obs ~index:0)
-      ~progress:(Obs.progress obs) ~sanitize ~dpor ()
+      ~progress:(Obs.progress obs) ~sanitize ~dpor ~compact ()
   in
   wire_progress st;
   let all_procs = Proc.all ~n in
@@ -363,13 +399,15 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
     let advanced =
       match d with
       | Driver.Schedule _ ->
-          let observed = Dpor.observed_step ~probe:st.probe ~declared:None in
+          let observed =
+            Dpor.observed_step_mask ~probe:st.probe ~declared:None
+          in
           let keep, woken =
             List.partition
               (fun (z, _) ->
                 not
-                  (Dpor.wakes ~observed
-                     ~pending:(Runner.Cursor.pending child z)))
+                  (Dpor.wakes_mask ~observed
+                     ~pending:(Runner.Cursor.pending_mask child z)))
               candidate
           in
           if woken <> [] then begin
@@ -393,7 +431,8 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
      closed on every exit ([Found_lasso] unwinds included).  [sleep]
      carries each slept process with its ignoring streak; [] with DPOR
      off. *)
-  let rec visit cursor rev_script rev_cells rev_goods len crashes sleep =
+  let rec visit cursor rev_script rev_cells rev_cids rev_goods len crashes
+      sleep =
     st.nodes <- st.nodes + 1;
     Progress.tick st.progress st.sample;
     if Telemetry.enabled st.sink then begin
@@ -402,19 +441,36 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
         ~finally:(fun () ->
           Telemetry.emit st.sink Telemetry.Node_leave len 0)
         (fun () ->
-          visit_body cursor rev_script rev_cells rev_goods len crashes sleep)
+          visit_body cursor rev_script rev_cells rev_cids rev_goods len
+            crashes sleep)
     end
-    else visit_body cursor rev_script rev_cells rev_goods len crashes sleep
-  and visit_body cursor rev_script rev_cells rev_goods len crashes sleep =
+    else
+      visit_body cursor rev_script rev_cells rev_cids rev_goods len crashes
+        sleep
+  and visit_body cursor rev_script rev_cells rev_cids rev_goods len crashes
+      sleep =
     let key =
-      if cache then
+      if not cache then None
+      else if compact then
+        (* The interned-cell suffix is length-prefixed so the cell ids
+           and the packed sleeper entries cannot alias each other in
+           the flat array. *)
+        let cids = take (2 * max_period) rev_cids in
         Some
-          {
-            k_fp = Runner.Cursor.fingerprint cursor;
-            k_cells = take (2 * max_period) rev_cells;
-            k_sleep = sleep;
-          }
-      else None
+          (K_compact
+             (Intern.Ints.intern st.keys
+                (Runner.Cursor.compact_key cursor
+                   ~extra:
+                     ((List.length cids :: cids)
+                     @ List.map (fun (z, s) -> (s lsl 8) lor z) sleep))))
+      else
+        Some
+          (K_struct
+             {
+               k_fp = Runner.Cursor.fingerprint cursor;
+               k_cells = take (2 * max_period) rev_cells;
+               k_sleep = sleep;
+             })
     in
     match Option.bind key (Clock_cache.find_opt st.table) with
     | Some () ->
@@ -498,6 +554,7 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                     let c =
                       Runner.Cursor.replay ~n ~factory:(factory ())
                         ~ticks:st.ticks ?shadow:st.shadow ?probe:st.probe
+                        ?encode:st.encode
                         (List.rev rev_script)
                     in
                     st.replayed <- st.replayed + len;
@@ -516,8 +573,13 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                     (History.to_list
                        (Runner.Cursor.view child).Driver.history)
                 in
-                visit child (d :: rev_script)
-                  (cell_of d fresh :: rev_cells)
+                let cell = cell_of d fresh in
+                let rev_cids' =
+                  if compact then
+                    Intern.intern st.cells_pool cell :: rev_cids
+                  else rev_cids
+                in
+                visit child (d :: rev_script) (cell :: rev_cells) rev_cids'
                   (goods_of ~good fresh :: rev_goods)
                   (len + 1) crashes' settled)
               children);
@@ -525,10 +587,10 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
   in
   let root =
     Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks
-      ?shadow:st.shadow ?probe:st.probe ()
+      ?shadow:st.shadow ?probe:st.probe ?encode:st.encode ()
   in
   let outcome =
-    match visit root [] [] [] 0 0 [] with
+    match visit root [] [] [] [] 0 0 [] with
     | () -> No_fair_cycle
     | exception Found_lasso -> Lasso (Option.get st.found)
   in

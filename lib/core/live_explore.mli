@@ -111,6 +111,7 @@ val search :
   ?cache_capacity:int ->
   ?obs:Slx_obs.Obs.t ->
   ?sanitize:bool ->
+  ?compact:bool ->
   unit ->
   ('inv, 'res) result
 (** [search ~n ~factory ~invoke ~good ~point ~depth ()] explores every
@@ -155,7 +156,18 @@ val search :
     footprint mismatches are counted into
     [stats.footprint_violations] without changing any decision or
     verdict.  Pump validation runs outside the shadow — it re-executes
-    an already-sanitized script on a fresh instance. *)
+    an already-sanitized script on a fresh instance.
+
+    [compact] (default [true]) keys the suffix cache on hash-consed
+    encodings, exactly as in {!Explore.explore}: interned incremental
+    history ids, interned abstract-trace cells, packed sleeper
+    entries — one dense int per key.  Verdict- and
+    certificate-identical to [~compact:false] (differentially tested);
+    ignored when the cache is off or [n >= 62].  There is deliberately
+    no bitstate variant here: hash compaction's false hits would
+    silently truncate the search, and [No_fair_cycle] is an
+    exhaustiveness claim — the liveness side keeps exact keys
+    (doc/model.md §10). *)
 
 val certify_run :
   n:int ->

@@ -26,9 +26,11 @@ module Cursor = struct
     ticks : int ref;
     shadow : Runtime.shadow option;
     probe : Runtime.probe option;
+    encode : (int -> ('inv, 'res) Event.t -> int) option;
+    mutable hist_id : int;
   }
 
-  let create ~n ~factory ?(ticks = ref 0) ?shadow ?probe () =
+  let create ~n ~factory ?(ticks = ref 0) ?shadow ?probe ?encode () =
     let registry = Runtime.fresh_registry () in
     let with_shadow f =
       match shadow with None -> f () | Some sh -> Runtime.with_shadow sh f
@@ -52,6 +54,8 @@ module Cursor = struct
       ticks;
       shadow;
       probe;
+      encode;
+      hist_id = 0;
     }
 
   let cell c p =
@@ -68,10 +72,21 @@ module Cursor = struct
     }
 
   let pending c p = Runtime.pending_footprint (cell c p)
+  let pending_mask c p = Runtime.pending_mask (cell c p)
 
   let record c e =
     c.history <- History.append c.history e;
-    c.rev_event_times <- c.time :: c.rev_event_times
+    c.rev_event_times <- c.time :: c.rev_event_times;
+    (* Incremental history interning: with an [encode] hook installed
+       the cursor maintains a single small-int stand-in for the whole
+       history — each append maps (previous id, event) to a fresh or
+       cached id, so compact fingerprint keys never re-hash the
+       history.  Replays fed the same hook reproduce the same id. *)
+    match c.encode with
+    | None -> ()
+    | Some enc -> c.hist_id <- enc c.hist_id e
+
+  let hist_id c = c.hist_id
 
   let apply_body c d =
     (* Implementations may allocate base objects lazily, mid-run; keep
@@ -110,8 +125,8 @@ module Cursor = struct
 
   let probe c = c.probe
 
-  let replay ~n ~factory ?ticks ?shadow ?probe decisions =
-    let c = create ~n ~factory ?ticks ?shadow ?probe () in
+  let replay ~n ~factory ?ticks ?shadow ?probe ?encode decisions =
+    let c = create ~n ~factory ?ticks ?shadow ?probe ?encode () in
     List.iter (apply c) decisions;
     c
 
@@ -147,6 +162,33 @@ module Cursor = struct
           (Proc.all ~n:c.n);
       fp_shared = Runtime.registry_digest c.registry;
     }
+
+  (* The flat-int-array form of [fingerprint], for interning: the
+     history is represented by the incremental [hist_id] (exact under
+     an injective [encode] hook), the crash set by the per-process
+     status codes (a process is crashed iff its status is), and the
+     two digest components are the same digests the structural
+     fingerprint carries — so equality of compact keys coincides with
+     equality of structural fingerprints up to the digests' existing
+     collision bound.  [extra] lets callers append engine-specific key
+     components (sleep sets, trace-suffix ids). *)
+  let compact_key c ~extra =
+    let n = c.n in
+    let a = Array.make (3 + (2 * n) + List.length extra) 0 in
+    a.(0) <- c.time;
+    a.(1) <- c.hist_id;
+    a.(2) <- Runtime.registry_digest c.registry;
+    for p = 1 to n do
+      let cell = c.cells.(p) in
+      a.(1 + (2 * p)) <-
+        (c.step_counts.(p) lsl 2) lor status_code (Runtime.status cell);
+      a.(2 + (2 * p)) <- Runtime.obs cell
+    done;
+    List.iteri (fun i v -> a.(3 + (2 * n) + i) <- v) extra;
+    a
+
+  let shared_digest c = Runtime.registry_digest c.registry
+  let shared_digest_full c = Runtime.registry_digest_full c.registry
 end
 
 let run ~n ~factory ~driver ~max_steps ?window () =

@@ -54,12 +54,21 @@ module Cursor : sig
     ?ticks:int ref ->
     ?shadow:Runtime.shadow ->
     ?probe:Runtime.probe ->
+    ?encode:(int -> ('inv, 'res) Event.t -> int) ->
     unit ->
     ('inv, 'res) t
   (** A cursor at the initial configuration of a fresh implementation
       instance.  [ticks] (default: a private counter) is incremented on
       every applied decision — explorers share one counter across many
       cursors to measure runtime steps executed.
+
+      [encode] arms incremental history interning: on every history
+      append the cursor updates a small-int history id as
+      [encode previous_id event] (initial id 0).  With an injective
+      hook — e.g. hash-consing the [(previous_id, event)] pair in an
+      {!Slx_core.Intern} table — the id stands in for the whole
+      history in compact fingerprint keys, and two cursors fed the
+      same hook have equal ids iff their histories are equal.
 
       [shadow] installs a sanitizer shadow ({!Runtime.make_shadow})
       around the factory call and around every {!apply}: all base-object
@@ -84,6 +93,16 @@ module Cursor : sig
       partial-order reduction grants commuting pending steps
       ({!Runtime.footprints_commute}) in only one order. *)
 
+  val pending_mask : ('inv, 'res) t -> Proc.t -> Runtime.mask option
+  (** {!pending} in bitmask form, precomputed at suspension — what the
+      engines' hot commutation checks ({!Runtime.masks_commute})
+      consume. *)
+
+  val hist_id : ('inv, 'res) t -> int
+  (** The interned history id maintained by the [encode] hook (0 at
+      the empty history, and constantly 0 when no hook was passed to
+      {!create}). *)
+
   val apply : ('inv, 'res) t -> ('inv, 'res) Driver.decision -> unit
   (** Extend the run by one decision (one scheduler tick).  Decisions
       are validated exactly as in {!run}; applying [Driver.Stop] raises
@@ -99,6 +118,7 @@ module Cursor : sig
     ?ticks:int ref ->
     ?shadow:Runtime.shadow ->
     ?probe:Runtime.probe ->
+    ?encode:(int -> ('inv, 'res) Event.t -> int) ->
     ('inv, 'res) Driver.decision list ->
     ('inv, 'res) t
   (** [replay ~n ~factory decisions] creates a fresh cursor and applies
@@ -120,6 +140,31 @@ module Cursor : sig
 
   val fingerprint : ('inv, 'res) t -> ('inv, 'res) fingerprint
   (** The canonical fingerprint of the current configuration. *)
+
+  val compact_key : ('inv, 'res) t -> extra:int list -> int array
+  (** The flat small-int form of {!fingerprint}, for hash-consed
+      transposition keys: [[| time; hist_id; shared digest;
+      (steps << 2 | status), obs digest per process 1..n; extra... |]].
+      The history component is the incremental {!hist_id} — exact iff
+      an injective [encode] hook is installed — and the crash set is
+      carried by the per-process status codes; the two digest
+      components are the very digests the structural fingerprint uses.
+      Two cursors fed the same hook therefore have equal compact keys
+      iff their structural fingerprints (plus [extra]) are equal.
+      [extra] appends engine-specific key components (e.g. the POR
+      sleep set as a bitset). *)
+
+  val shared_digest : ('inv, 'res) t -> int
+  (** The shared-state digest of the current configuration
+      ({!Slx_sim.Runtime.registry_digest} of the cursor's registry):
+      the incrementally maintained digest both {!fingerprint} and
+      {!compact_key} embed. *)
+
+  val shared_digest_full : ('inv, 'res) t -> int
+  (** The same digest recomputed from scratch
+      ({!Slx_sim.Runtime.registry_digest_full}); equals
+      {!shared_digest} unless a base-object mutation bypassed the
+      write-touch contract.  For audits and tests. *)
 end
 
 val run :

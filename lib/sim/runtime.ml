@@ -71,20 +71,160 @@ let pp_footprint fmt = function
            pp_access)
         accs
 
+(* ------------------------------------------------------------------ *)
+(* Conflict bitmasks: the footprint operations above, precomputed.
+
+   Registry-issued object ids are small positive ints (dense from 1)
+   and orphan ids are negative, so almost every footprint seen by the
+   exploration engines fits two machine words: [m_r] has bit [i] set
+   iff object [i] is accessed at all, [m_w] iff it may be written
+   (0 <= i < mask_width).  Ids outside that range spill into [m_rest],
+   and since the bit range and the spill range are disjoint, a bit-part
+   access can never conflict with a rest-part access — the commutation
+   check is two ANDs plus a rarely-taken list fallback.  Masks are
+   computed once per suspension (and once per nested declaration), so
+   the per-decision hot paths — [masks_commute] in the POR/DPOR sleep
+   logic, [mask_covers] in the sanitizer — never walk access lists. *)
+
+let mask_width = 62
+
+type mask = {
+  m_opaque : bool;
+  m_r : int;  (* presence bits: object i is read or written *)
+  m_w : int;  (* write bits: object i may be written *)
+  m_rest : access list;  (* normalized accesses with ids outside [0,61] *)
+}
+
+let empty_mask = { m_opaque = false; m_r = 0; m_w = 0; m_rest = [] }
+let opaque_mask = { m_opaque = true; m_r = 0; m_w = 0; m_rest = [] }
+
+let mask_of_footprint = function
+  | Opaque -> opaque_mask
+  | fp ->
+      let r = ref 0 and w = ref 0 and rest = ref [] in
+      List.iter
+        (fun a ->
+          if a.obj >= 0 && a.obj < mask_width then begin
+            let bit = 1 lsl a.obj in
+            r := !r lor bit;
+            if a.write then w := !w lor bit
+          end
+          else rest := a :: !rest)
+        (Option.get (accesses fp));
+      {
+        m_opaque = false;
+        m_r = !r;
+        m_w = !w;
+        m_rest = (match !rest with [] -> [] | rs -> normalize rs);
+      }
+
+let mask_union a b =
+  if a.m_opaque || b.m_opaque then opaque_mask
+  else
+    {
+      m_opaque = false;
+      m_r = a.m_r lor b.m_r;
+      m_w = a.m_w lor b.m_w;
+      m_rest =
+        (match (a.m_rest, b.m_rest) with
+        | [], r | r, [] -> r
+        | ra, rb -> normalize (ra @ rb));
+    }
+
+(* Mirrors [footprints_commute]: Opaque commutes with nothing. *)
+let masks_commute a b =
+  (not (a.m_opaque || b.m_opaque))
+  && (a.m_w land b.m_r) lor (b.m_w land a.m_r) = 0
+  && (match (a.m_rest, b.m_rest) with
+     | [], _ | _, [] -> true
+     | ra, rb -> not (List.exists (fun x -> List.exists (conflict x) rb) ra))
+
+(* Mirrors [covers outer (Access {obj; write})]. *)
+let mask_covers m ~obj ~write =
+  m.m_opaque
+  ||
+  if obj >= 0 && obj < mask_width then
+    let bit = 1 lsl obj in
+    if write then m.m_w land bit <> 0 else m.m_r land bit <> 0
+  else
+    List.exists (fun b -> b.obj = obj && (b.write || not write)) m.m_rest
+
+let mask_conflicts_access m (a : access) =
+  m.m_opaque
+  ||
+  if a.obj >= 0 && a.obj < mask_width then
+    let bit = 1 lsl a.obj in
+    if a.write then m.m_r land bit <> 0 else m.m_w land bit <> 0
+  else List.exists (fun b -> conflict a b) m.m_rest
+
 type _ Effect.t += Atomic : footprint * (unit -> 'a) -> 'a Effect.t
 
 exception Killed
 
 type status = Idle | Ready | Crashed
 
-(* Deep-ish structural hash used for all fingerprint components: the
-   default [Hashtbl.hash] only looks at 10 meaningful nodes, far too
-   shallow to distinguish configurations. *)
-let hash_value v = Hashtbl.hash_param 256 512 v
+(* 64-bit finalizer in the splitmix/xorshift-star family.  OCaml int
+   literals must fit 63 bits, so the multipliers are the xorshift64*
+   constant and the FNV-64 prime rather than the classic murmur ones
+   (0xff51afd7ed558ccd does not fit). *)
+let mix64 h =
+  let h = h lxor (h lsr 29) in
+  let h = h * 0x2545F4914F6CDD1D in
+  let h = h lxor (h lsr 32) in
+  let h = h * 0x100000001b3 in
+  h lxor (h lsr 29)
 
-(* FNV-style combination; commutative only by accident of inputs, so
+(* FNV-style combination with a 64-bit finish; not commutative, so
    callers must fold in a fixed order. *)
-let combine h v = (h * 0x01000193) lxor (v land max_int)
+let combine h v = mix64 ((h * 0x100000001b3) lxor v)
+
+(* Deep structural hash over the whole value: an explicit traversal
+   that folds every immediate, every string byte and every float's bit
+   pattern through the 64-bit mixer.  The previous
+   [Hashtbl.hash_param 256 512] silently truncated values deeper than
+   its node budget, a latent collision bug for long histories; this
+   fold only stops at the (generous) node budget below, far beyond any
+   depth-bounded exploration's history.  Tags above the last
+   constructor tag (closures, objects, lazy, custom, abstract blocks)
+   are not traversed — their layout is not plain fields — and fall back
+   to the polymorphic hash; fingerprint components never contain
+   them. *)
+let hash_value v =
+  let budget = ref 1_000_000 in
+  let rec go h r =
+    decr budget;
+    if !budget < 0 then h
+    else if Obj.is_int r then combine h (Obj.obj r : int)
+    else
+      let t = Obj.tag r in
+      if t <= Obj.last_non_constant_constructor_tag then begin
+        let n = Obj.size r in
+        let h = ref (combine h ((t lsl 16) lxor n)) in
+        for i = 0 to n - 1 do
+          h := go !h (Obj.field r i)
+        done;
+        !h
+      end
+      else if t = Obj.string_tag then begin
+        let s : string = Obj.obj r in
+        let acc = ref (combine h (String.length s)) in
+        String.iter
+          (fun c -> acc := (!acc * 0x100000001b3) lxor Char.code c)
+          s;
+        mix64 !acc
+      end
+      else if t = Obj.double_tag then
+        combine h (Int64.to_int (Int64.bits_of_float (Obj.obj r : float)))
+      else if t = Obj.double_array_tag then begin
+        let a : float array = Obj.obj r in
+        Array.fold_left
+          (fun h f -> combine h (Int64.to_int (Int64.bits_of_float f)))
+          (combine h (Array.length a))
+          a
+      end
+      else combine h (Hashtbl.hash r)
+  in
+  mix64 (go 0x811c9dc5 (Obj.repr v))
 
 (* ------------------------------------------------------------------ *)
 (* Shared-state fingerprint registry.
@@ -95,17 +235,53 @@ let combine h v = (h * 0x01000193) lxor (v land max_int)
    instance is alive collects the readers of every base object that
    instance allocates; the explorer folds them into configuration
    fingerprints.  The "current registry" is domain-local so parallel
-   explorers do not observe each other's allocations. *)
+   explorers do not observe each other's allocations.
+
+   The digest is maintained {e incrementally}, Zobrist-style: each
+   object contributes [combine id (reader ())], the registry digest is
+   the XOR of all contributions, and a write reported through [touch]
+   marks its object dirty so only touched objects are re-read at the
+   next [registry_digest] call.  A full fold would be O(objects) per
+   configuration — factories preallocate their object pools (the
+   register-consensus factory allocates 4096 rounds of registers up
+   front), so the fold dominated every fingerprint; the incremental
+   digest is O(writes since the last digest) instead.  XOR makes the
+   combination order-free (contributions carry the object's own id, so
+   equal multisets of (id, state) pairs — i.e. equal shared states of
+   two instances of one deterministic factory — digest equally).
+
+   Exactness rests on the touch contract: every physical mutation of a
+   registered object's state is reported via [touch ~write:true] with
+   the owning object's id while its registry is current.  The
+   instrumented base-object layer establishes this by construction
+   (stores route through [Slx_base_objects.store], which touches the
+   {e owning} cell even when the surrounding atomic action misdeclares
+   its footprint), and the sanitizer shadow is the dynamic check of
+   precisely this reporting. *)
 
 type registry = {
-  mutable readers : (unit -> int) list;  (* reverse registration order *)
+  mutable readers : (unit -> int) array;  (* slot [id - 1] *)
+  mutable contrib : int array;  (* last XOR contribution per object *)
+  mutable dirty : int list;  (* ids re-read at the next digest *)
+  mutable dirty_flag : Bytes.t;  (* dedup for [dirty]; slot [id - 1] *)
+  mutable digest : int;  (* XOR of [contrib.(0 .. next_id - 2)] *)
   mutable next_id : int;
 }
 
 let current_registry : registry option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-let fresh_registry () : registry = { readers = []; next_id = 1 }
+let no_reader : unit -> int = fun () -> 0
+
+let fresh_registry () : registry =
+  {
+    readers = Array.make 16 no_reader;
+    contrib = Array.make 16 0;
+    dirty = [];
+    dirty_flag = Bytes.make 16 '\000';
+    digest = 0x811c9dc5;
+    next_id = 1;
+  }
 
 (* Fallback id source for objects allocated with no registry current
    (plain [Runner.run]s); footprint ids only ever need to be distinct
@@ -120,10 +296,41 @@ let register_object reader =
       decr c;
       !c
   | Some reg ->
-      reg.readers <- reader :: reg.readers;
       let id = reg.next_id in
       reg.next_id <- id + 1;
+      let cap = Array.length reg.readers in
+      if id > cap then begin
+        let readers = Array.make (2 * cap) no_reader in
+        Array.blit reg.readers 0 readers 0 cap;
+        reg.readers <- readers;
+        let contrib = Array.make (2 * cap) 0 in
+        Array.blit reg.contrib 0 contrib 0 cap;
+        reg.contrib <- contrib;
+        let flags = Bytes.make (2 * cap) '\000' in
+        Bytes.blit reg.dirty_flag 0 flags 0 cap;
+        reg.dirty_flag <- flags
+      end;
+      reg.readers.(id - 1) <- reader;
+      (* The reader is callable at registration: constructors register
+         after initializing the state the reader closes over. *)
+      let c = combine id (reader ()) in
+      reg.contrib.(id - 1) <- c;
+      reg.digest <- reg.digest lxor c;
       id
+
+(* Called (unconditionally) on every write-touch: queue the object for
+   re-reading at the next digest.  Ids outside the current registry —
+   orphans (negative) or a fixture touching an id it never registered —
+   have no contribution to invalidate and are skipped. *)
+let mark_written obj =
+  match !(Domain.DLS.get current_registry) with
+  | Some reg
+    when obj >= 1
+         && obj < reg.next_id
+         && Bytes.unsafe_get reg.dirty_flag (obj - 1) = '\000' ->
+      Bytes.unsafe_set reg.dirty_flag (obj - 1) '\001';
+      reg.dirty <- obj :: reg.dirty
+  | _ -> ()
 
 let with_registry reg f =
   let slot = Domain.DLS.get current_registry in
@@ -138,11 +345,30 @@ let with_registry reg f =
       raise e
 
 let registry_digest (reg : registry) =
-  (* Readers are stored in reverse registration order; any fixed order
-     works as long as two instances of the same factory agree, which
-     they do (allocation order is deterministic). *)
-  List.fold_left (fun acc reader -> combine acc (reader ())) 0x811c9dc5
-    reg.readers
+  (match reg.dirty with
+  | [] -> ()
+  | dirty ->
+      reg.dirty <- [];
+      List.iter
+        (fun id ->
+          Bytes.unsafe_set reg.dirty_flag (id - 1) '\000';
+          let c = combine id (reg.readers.(id - 1) ()) in
+          reg.digest <- reg.digest lxor reg.contrib.(id - 1) lxor c;
+          reg.contrib.(id - 1) <- c)
+        dirty);
+  reg.digest
+
+(* O(objects) recomputation from scratch — what [registry_digest] cost
+   at every configuration before the incremental scheme, kept as the
+   audit cross-check: it differs from [registry_digest] only if some
+   mutation bypassed the touch contract (in which case the incremental
+   digest is stale and the divergence is the diagnostic). *)
+let registry_digest_full (reg : registry) =
+  let d = ref 0x811c9dc5 in
+  for id = 1 to reg.next_id - 1 do
+    d := !d lxor combine id (reg.readers.(id - 1) ())
+  done;
+  !d
 
 (* ------------------------------------------------------------------ *)
 (* Shadow state: the conflict-soundness sanitizer.
@@ -160,26 +386,83 @@ let registry_digest (reg : registry) =
    mid-grant) and its declared footprint is folded into the step's
    effective footprint. *)
 
+(* The touch buffer is a flat array of packed ints — [(obj lsl 1) lor
+   write] — appended to with no allocation; [asr]/[land] recover the
+   access (the encoding is sign-correct for negative orphan ids).
+   Validation against the effective footprint is batched: once at step
+   end, plus a flush at each nested declaration so every buffered touch
+   is judged against the effective footprint in force when it was made
+   (identical verdicts to the old per-touch check, at a fraction of the
+   cost).  The shadow and probe are read from their domain-local slots
+   once per step ([enter_step]) and cached in the frame, so [touch]
+   itself is one domain-local read, two branches and a store. *)
 type frame = {
   mutable fr_depth : int;  (* nesting depth of in-flight atomic code *)
   mutable fr_pending : footprint;  (* declared at suspension (POR-visible) *)
   mutable fr_eff : footprint;  (* pending ∪ nested declarations *)
-  mutable fr_touched : access list;  (* physical touches, reverse order *)
+  mutable fr_eff_mask : mask;  (* bitmask form of [fr_eff] *)
+  mutable fr_buf : int array;  (* packed touches, program order *)
+  mutable fr_len : int;  (* touches buffered this step *)
+  mutable fr_checked : int;  (* validation watermark into [fr_buf] *)
+  mutable fr_shadow : shadow option;  (* cached for the step in flight *)
+  mutable fr_probe : probe option;  (* cached for the step in flight *)
+  mutable fr_active : bool;  (* shadow or probe installed *)
 }
 
-let frame_key : frame Domain.DLS.key =
-  Domain.DLS.new_key (fun () ->
-      { fr_depth = 0; fr_pending = Opaque; fr_eff = Opaque; fr_touched = [] })
+and shadow = {
+  sh_record : bool;
+  sh_raise : bool;
+  mutable sh_steps : int;
+  mutable sh_log : step_log list;  (* reverse order *)
+  mutable sh_violations : violation list;  (* reverse order *)
+  sh_decls : (int, mstat) Hashtbl.t;
+  mutable sh_opaque : int;
+}
 
-type violation_kind = Undeclared_touch | Undeclared_nesting | Outside_atomic
+and step_log = {
+  declared : footprint;
+  effective : footprint;
+  touched : access list;
+}
 
-type violation = {
+and violation = {
   v_kind : violation_kind;
   v_obj : int;
   v_write : bool;
   v_pending : footprint;
   v_step : int;
 }
+
+and violation_kind = Undeclared_touch | Undeclared_nesting | Outside_atomic
+
+and mstat = {
+  mutable ms_decl : int;
+  mutable ms_touched : int;
+  mutable ms_wdecl : int;
+  mutable ms_wrote : int;
+}
+
+and probe = {
+  mutable pr_steps : int;  (* atomic steps completed under this probe *)
+  mutable pr_eff : footprint;  (* effective footprint of the last step *)
+  mutable pr_touched : access list;  (* its physical touches, in order *)
+  mutable pr_mask : mask;  (* observed mask of the last step *)
+}
+
+let frame_key : frame Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        fr_depth = 0;
+        fr_pending = Opaque;
+        fr_eff = Opaque;
+        fr_eff_mask = opaque_mask;
+        fr_buf = Array.make 64 0;
+        fr_len = 0;
+        fr_checked = 0;
+        fr_shadow = None;
+        fr_probe = None;
+        fr_active = false;
+      })
 
 exception Shadow_violation of violation
 
@@ -208,30 +491,6 @@ type decl_stat = {
   touched_steps : int;
   write_decl_steps : int;
   wrote_steps : int;
-}
-
-(* Internal mutable accumulator behind [decl_stat]. *)
-type mstat = {
-  mutable ms_decl : int;
-  mutable ms_touched : int;
-  mutable ms_wdecl : int;
-  mutable ms_wrote : int;
-}
-
-type step_log = {
-  declared : footprint;
-  effective : footprint;
-  touched : access list;
-}
-
-type shadow = {
-  sh_record : bool;
-  sh_raise : bool;
-  mutable sh_steps : int;
-  mutable sh_log : step_log list;  (* reverse order *)
-  mutable sh_violations : violation list;  (* reverse order *)
-  sh_decls : (int, mstat) Hashtbl.t;
-  mutable sh_opaque : int;
 }
 
 let make_shadow ?(record = false) ?(raise_on_violation = true) () =
@@ -273,14 +532,8 @@ let with_shadow sh f =
    no probe installed, [touch] stays one domain-local read and a
    branch. *)
 
-type probe = {
-  mutable pr_steps : int;  (* atomic steps completed under this probe *)
-  mutable pr_eff : footprint;  (* effective footprint of the last step *)
-  mutable pr_touched : access list;  (* its physical touches, in order *)
-}
-
 let make_probe () =
-  { pr_steps = 0; pr_eff = of_accesses []; pr_touched = [] }
+  { pr_steps = 0; pr_eff = of_accesses []; pr_touched = []; pr_mask = empty_mask }
 
 let current_probe : probe option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
@@ -306,6 +559,9 @@ let probe_last_observed pr =
   | [] -> pr.pr_eff  (* uninstrumented or touch-free: trust the declaration *)
   | touched -> of_accesses touched
 
+(* Same policy as [probe_last_observed], precomputed at step end. *)
+let probe_last_observed_mask pr = pr.pr_mask
+
 let shadow_violations sh = List.rev sh.sh_violations
 let shadow_violation_count sh = List.length sh.sh_violations
 let shadow_steps sh = List.rev sh.sh_log
@@ -330,66 +586,141 @@ let violate sh v =
   sh.sh_violations <- v :: sh.sh_violations;
   if sh.sh_raise then raise (Shadow_violation v)
 
+(* The hot path: one domain-local read, a depth test, an activity test
+   and a packed store.  No allocation, no footprint walk — validation
+   happens in batch at [leave_step] (and at nested-declaration
+   boundaries, which preserve the temporal precision of the old
+   per-touch check). *)
 let touch ~obj ~write =
-  let shadow = !(Domain.DLS.get current_shadow) in
-  if shadow <> None || !(Domain.DLS.get current_probe) <> None then begin
-    let fr = Domain.DLS.get frame_key in
-    if fr.fr_depth = 0 then (
-      (* Outside any atomic action: a violation when a shadow judges;
-         with only a probe installed there is no step to attribute the
-         touch to, so it is dropped (the sanitizer is the layer that
-         reports this contract breach). *)
-      match shadow with
-      | Some sh ->
-          violate sh
-            {
-              v_kind = Outside_atomic;
-              v_obj = obj;
-              v_write = write;
-              v_pending = Opaque;
-              v_step = sh.sh_steps;
-            }
-      | None -> ())
-    else begin
-      fr.fr_touched <- { obj; write } :: fr.fr_touched;
-      match shadow with
-      | Some sh ->
-          if not (covers fr.fr_eff (Access { obj; write })) then
-            violate sh
-              {
-                v_kind = Undeclared_touch;
-                v_obj = obj;
-                v_write = write;
-                v_pending = fr.fr_pending;
-                v_step = sh.sh_steps;
-              }
-      | None -> ()
-    end
+  (* Keep the registry's incremental digest exact: every physical
+     write invalidates the written object's cached contribution, with
+     or without a shadow installed. *)
+  if write then mark_written obj;
+  let fr = Domain.DLS.get frame_key in
+  if fr.fr_depth = 0 then (
+    (* Outside any atomic action: a violation when a shadow judges;
+       with only a probe installed there is no step to attribute the
+       touch to, so it is dropped (the sanitizer is the layer that
+       reports this contract breach). *)
+    match !(Domain.DLS.get current_shadow) with
+    | Some sh ->
+        violate sh
+          {
+            v_kind = Outside_atomic;
+            v_obj = obj;
+            v_write = write;
+            v_pending = Opaque;
+            v_step = sh.sh_steps;
+          }
+    | None -> ())
+  else if fr.fr_active then begin
+    if fr.fr_len = Array.length fr.fr_buf then begin
+      let bigger = Array.make (2 * fr.fr_len) 0 in
+      Array.blit fr.fr_buf 0 bigger 0 fr.fr_len;
+      fr.fr_buf <- bigger
+    end;
+    fr.fr_buf.(fr.fr_len) <- (obj lsl 1) lor (if write then 1 else 0);
+    fr.fr_len <- fr.fr_len + 1
+  end
+
+(* Rebuild the buffered touches as an access list in program order
+   (cold path: probe hand-off and record-mode logs only). *)
+let buffered_touches fr =
+  let rec build i acc =
+    if i < 0 then acc
+    else
+      let p = fr.fr_buf.(i) in
+      build (i - 1) ({ obj = p asr 1; write = p land 1 <> 0 } :: acc)
+  in
+  build (fr.fr_len - 1) []
+
+(* Validate every touch buffered since the last watermark against the
+   effective footprint currently in force.  Called at step end and
+   before each nested declaration widens the footprint, so each touch
+   is judged exactly as the old per-touch check judged it.  Under a
+   raising shadow the first undeclared touch (in program order)
+   raises, as before. *)
+let validate_buffer fr sh =
+  if fr.fr_checked < fr.fr_len then begin
+    let m = fr.fr_eff_mask in
+    for i = fr.fr_checked to fr.fr_len - 1 do
+      let p = fr.fr_buf.(i) in
+      let obj = p asr 1 and write = p land 1 <> 0 in
+      if not (mask_covers m ~obj ~write) then
+        violate sh
+          {
+            v_kind = Undeclared_touch;
+            v_obj = obj;
+            v_write = write;
+            v_pending = fr.fr_pending;
+            v_step = sh.sh_steps;
+          }
+    done;
+    fr.fr_checked <- fr.fr_len
+  end
+
+(* The observed mask of the buffered touches; the empty buffer defers
+   to the effective mask (uninstrumented or touch-free step: trust the
+   declaration), mirroring [probe_last_observed]. *)
+let observed_mask_of_buffer fr =
+  if fr.fr_len = 0 then fr.fr_eff_mask
+  else begin
+    let r = ref 0 and w = ref 0 and rest = ref [] in
+    for i = 0 to fr.fr_len - 1 do
+      let p = fr.fr_buf.(i) in
+      let obj = p asr 1 and write = p land 1 <> 0 in
+      if obj >= 0 && obj < mask_width then begin
+        let bit = 1 lsl obj in
+        r := !r lor bit;
+        if write then w := !w lor bit
+      end
+      else rest := { obj; write } :: !rest
+    done;
+    {
+      m_opaque = false;
+      m_r = !r;
+      m_w = !w;
+      m_rest = (match !rest with [] -> [] | rs -> normalize rs);
+    }
   end
 
 (* Step bracketing: [enter_step] as a grant begins executing its
    pending action, [leave_step] when the action's body returns (or
    raises) — crucially {e before} the continuation is resumed, because
    the continuation runs up to the process's next suspension inside
-   the same dynamic extent. *)
-let enter_step fr fp =
+   the same dynamic extent.  The shadow and probe slots are read once
+   here and cached in the frame for the step's duration. *)
+let enter_step fr fp fp_mask =
+  let sh = !(Domain.DLS.get current_shadow) in
+  let pr = !(Domain.DLS.get current_probe) in
+  fr.fr_shadow <- sh;
+  fr.fr_probe <- pr;
+  fr.fr_active <- (sh != None || pr != None);
   fr.fr_depth <- 1;
   fr.fr_pending <- fp;
   fr.fr_eff <- fp;
-  fr.fr_touched <- []
+  fr.fr_eff_mask <- fp_mask;
+  fr.fr_len <- 0;
+  fr.fr_checked <- 0
 
 let leave_step fr =
   fr.fr_depth <- 0;
-  (match !(Domain.DLS.get current_probe) with
+  (match fr.fr_probe with
   | None -> ()
   | Some pr ->
       pr.pr_steps <- pr.pr_steps + 1;
       pr.pr_eff <- fr.fr_eff;
-      pr.pr_touched <- List.rev fr.fr_touched);
-  (match !(Domain.DLS.get current_shadow) with
+      pr.pr_touched <- buffered_touches fr;
+      pr.pr_mask <- observed_mask_of_buffer fr);
+  (match fr.fr_shadow with
   | None -> ()
   | Some sh ->
-      let touched = List.rev fr.fr_touched in
+      (* Per-object declaration stats from the touched masks: one pair
+         of bit tests per declared access instead of two list walks. *)
+      let obs = observed_mask_of_buffer fr in
+      let touched_r = (if fr.fr_len = 0 then 0 else obs.m_r)
+      and touched_w = (if fr.fr_len = 0 then 0 else obs.m_w)
+      and touched_rest = if fr.fr_len = 0 then [] else obs.m_rest in
       (match accesses fr.fr_pending with
       | None -> sh.sh_opaque <- sh.sh_opaque + 1
       | Some decl ->
@@ -405,34 +736,71 @@ let leave_step fr =
                     Hashtbl.add sh.sh_decls a.obj ms;
                     ms
               in
+              let was_touched, was_written =
+                if a.obj >= 0 && a.obj < mask_width then
+                  let bit = 1 lsl a.obj in
+                  (touched_r land bit <> 0, touched_w land bit <> 0)
+                else
+                  ( List.exists
+                      (fun (t : access) -> t.obj = a.obj)
+                      touched_rest,
+                    List.exists
+                      (fun (t : access) -> t.obj = a.obj && t.write)
+                      touched_rest )
+              in
               ms.ms_decl <- ms.ms_decl + 1;
-              if List.exists (fun (t : access) -> t.obj = a.obj) touched then
-                ms.ms_touched <- ms.ms_touched + 1;
+              if was_touched then ms.ms_touched <- ms.ms_touched + 1;
               if a.write then begin
                 ms.ms_wdecl <- ms.ms_wdecl + 1;
-                if
-                  List.exists
-                    (fun (t : access) -> t.obj = a.obj && t.write)
-                    touched
-                then ms.ms_wrote <- ms.ms_wrote + 1
+                if was_written then ms.ms_wrote <- ms.ms_wrote + 1
               end)
             decl);
       if sh.sh_record then
         sh.sh_log <-
-          { declared = fr.fr_pending; effective = fr.fr_eff; touched }
+          {
+            declared = fr.fr_pending;
+            effective = fr.fr_eff;
+            touched = buffered_touches fr;
+          }
           :: sh.sh_log;
-      sh.sh_steps <- sh.sh_steps + 1);
-  fr.fr_touched <- []
+      (* Batched validation, before the step counter advances so a
+         violation's [v_step] is the ordinal of the step it occurred
+         in — exactly what the old per-touch check recorded.  The
+         counter still advances when a raising shadow aborts the step,
+         as it did when the raise unwound through this bracket. *)
+      let deferred =
+        match validate_buffer fr sh with
+        | () -> None
+        | exception e -> Some e
+      in
+      sh.sh_steps <- sh.sh_steps + 1;
+      (match deferred with
+      | None -> ()
+      | Some e ->
+          fr.fr_len <- 0;
+          fr.fr_checked <- 0;
+          fr.fr_shadow <- None;
+          fr.fr_probe <- None;
+          fr.fr_active <- false;
+          raise e));
+  fr.fr_len <- 0;
+  fr.fr_checked <- 0;
+  fr.fr_shadow <- None;
+  fr.fr_probe <- None;
+  fr.fr_active <- false
 
 (* A nested atomic call: runs inline, folds its declaration into the
    effective footprint, and — under a shadow — checks that the nested
    declaration does not escape the POR-visible pending footprint (the
    explorer decided commutation before the nested call could be
-   known). *)
+   known).  Touches buffered so far are validated first, against the
+   effective footprint they were made under — widening it below must
+   not retroactively legitimize them. *)
 let enter_nested fr fp =
-  (match !(Domain.DLS.get current_shadow) with
+  (match fr.fr_shadow with
   | None -> ()
   | Some sh ->
+      validate_buffer fr sh;
       if not (covers fr.fr_pending fp) then begin
         let v_obj, v_write =
           match accesses fp with
@@ -456,6 +824,7 @@ let enter_nested fr fp =
           }
       end);
   fr.fr_eff <- union fr.fr_eff fp;
+  fr.fr_eff_mask <- mask_union fr.fr_eff_mask (mask_of_footprint fp);
   fr.fr_depth <- fr.fr_depth + 1
 
 let atomic_with fp f =
@@ -486,6 +855,7 @@ type suspended = {
   resume : unit -> unit;
   kill : unit -> unit;
   pending : footprint;  (* of the atomic action awaiting its grant *)
+  pending_mask : mask;  (* its bitmask, computed once at suspension *)
 }
 
 type slot = S_idle | S_ready of suspended | S_crashed
@@ -503,6 +873,11 @@ let status cell =
 let pending_footprint cell =
   match cell.slot with S_ready s -> Some s.pending | S_idle | S_crashed -> None
 
+let pending_mask cell =
+  match cell.slot with
+  | S_ready s -> Some s.pending_mask
+  | S_idle | S_crashed -> None
+
 let obs cell = cell.obs
 
 let handler cell =
@@ -518,6 +893,7 @@ let handler cell =
             Some
               (fun (k : (b, unit) continuation) ->
                 let used = ref false in
+                let fp_mask = mask_of_footprint fp in
                 let resume () =
                   if !used then invalid_arg "Runtime: continuation reused";
                   used := true;
@@ -526,7 +902,7 @@ let handler cell =
                      next suspension inside this call, and that code
                      is between atomic steps (local by contract). *)
                   let fr = Domain.DLS.get frame_key in
-                  enter_step fr fp;
+                  enter_step fr fp fp_mask;
                   let v =
                     match f () with
                     | v ->
@@ -551,7 +927,8 @@ let handler cell =
                     try discontinue k Killed with Killed -> ()
                   end
                 in
-                cell.slot <- S_ready { resume; kill; pending = fp })
+                cell.slot <-
+                  S_ready { resume; kill; pending = fp; pending_mask = fp_mask })
         | _ -> None);
   }
 

@@ -96,14 +96,64 @@ val covers : footprint -> footprint -> bool
 val pp_footprint : Format.formatter -> footprint -> unit
 (** [R3], [W7], [{R3 W7}], or [opaque]. *)
 
+(** {2 Conflict bitmasks}
+
+    The footprint operations above walk access lists; the exploration
+    engines make millions of commutation and coverage queries, so this
+    module also provides the same operations on a precomputed bitmask
+    form.  Registry-issued object ids are small dense positive ints
+    (and orphan ids negative), so almost every footprint fits two
+    machine words of presence/write bits; ids outside [0, 61] spill
+    into an access-list tail, and since the two id ranges are disjoint
+    a bit-part access can never conflict with a spill-part access.
+    Masks are computed once per suspension ({!pending_mask}) and the
+    per-decision checks are a couple of word operations. *)
+
+type mask = {
+  m_opaque : bool;  (** [Opaque]: conflicts with everything. *)
+  m_r : int;  (** Presence bits: object [i] is read or written. *)
+  m_w : int;  (** Write bits: object [i] may be written. *)
+  m_rest : access list;  (** Normalized accesses with ids outside [0,61]. *)
+}
+
+val empty_mask : mask
+(** The footprint touching nothing ([of_accesses []]). *)
+
+val opaque_mask : mask
+(** The [Opaque] footprint. *)
+
+val mask_of_footprint : footprint -> mask
+
+val mask_union : mask -> mask -> mask
+(** Mirrors {!union}: [Opaque] is absorbing. *)
+
+val masks_commute : mask -> mask -> bool
+(** Mirrors {!footprints_commute}: two word-ops plus a rarely-taken
+    spill fallback.  [masks_commute (mask_of_footprint a)
+    (mask_of_footprint b) = footprints_commute a b] for all footprints
+    [a], [b]. *)
+
+val mask_covers : mask -> obj:int -> write:bool -> bool
+(** Mirrors [covers m (Access {obj; write})]. *)
+
+val mask_conflicts_access : mask -> access -> bool
+(** Whether the mask conflicts with one access: the access's object is
+    present with a write on either side (or the mask is opaque). *)
+
 (** {1 Shadow state: the conflict-soundness sanitizer}
 
     POR and the transposition cache trust declared footprints; a
     {e shadow} checks that trust dynamically.  Instrumented base
     objects ({!Slx_base_objects}) report every physical cell access
     through {!touch}; while a shadow is installed ({!with_shadow}),
-    each touch is validated against the footprint of the atomic action
-    in flight:
+    every touch is validated against the footprint of the atomic
+    action in flight.  Validation is {e batched}: touches accumulate
+    in a flat per-step buffer of packed ints and are checked once at
+    step end (plus a flush at every nested atomic declaration), so
+    each touch is judged against the effective footprint in force when
+    it was made — the violations, their order and their [v_step]
+    ordinals are those of a per-touch check, at a fraction of the
+    cost:
 
     - a touch not covered by the effective footprint is an
       {!Undeclared_touch} violation (the under-declaration that would
@@ -118,8 +168,10 @@ val pp_footprint : Format.formatter -> footprint -> unit
     over-declaration lints, and (in record mode) a per-step log
     consumed by the happens-before certifier {!Slx_analysis.Hb}.
 
-    With no shadow installed, {!touch} is one domain-local read and a
-    branch — engines not sanitizing pay essentially nothing. *)
+    With no shadow or probe installed, {!touch} is one domain-local
+    read and two branches — engines not sanitizing pay essentially
+    nothing; with one installed it is the same read plus one packed
+    store into the step buffer. *)
 
 type violation_kind =
   | Undeclared_touch
@@ -143,9 +195,11 @@ type violation = {
 }
 
 exception Shadow_violation of violation
-(** Raised by {!touch} (out of the offending grant) when the shadow
-    was created with [raise_on_violation].  The run cannot be resumed
-    past it: abandon the cursor and replay the witness prefix. *)
+(** Raised out of the offending grant (at the batched validation
+    point: step end or nested-declaration flush) when the shadow was
+    created with [raise_on_violation]; the violation raised is the
+    first one in program order.  The run cannot be resumed past it:
+    abandon the cursor and replay the witness prefix. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 
@@ -211,6 +265,11 @@ val probe_last_observed : probe -> footprint
     touches when the instrumentation reported any, otherwise its
     effective declared footprint — never weaker than what a
     declared-footprint oracle would use on a clean implementation. *)
+
+val probe_last_observed_mask : probe -> mask
+(** {!probe_last_observed} in bitmask form, precomputed at step end —
+    the representation the DPOR engines race-check against pending
+    masks with {!masks_commute}. *)
 
 (** {2 Shadow reports} *)
 
@@ -294,6 +353,11 @@ val pending_footprint : cell -> footprint option
 (** The declared footprint of the atomic action a [Ready] process is
     suspended at; [None] when the cell is [Idle] or [Crashed]. *)
 
+val pending_mask : cell -> mask option
+(** {!pending_footprint} in bitmask form, computed once when the
+    process suspended — the engines' commutation checks read this
+    instead of re-deriving masks per decision. *)
+
 (** {1 Configuration fingerprinting}
 
     The exploration engine ({!Slx_core.Explore}) prunes schedule
@@ -340,9 +404,43 @@ val register_object : (unit -> int) -> int
     pay nothing). *)
 
 val registry_digest : registry -> int
-(** Fold of all registered readers — a digest of the current shared
-    state of every base object in the registry. *)
+(** A digest of the current shared state of every base object in the
+    registry: the XOR of one [combine id (reader ())] contribution per
+    object, maintained {e incrementally}, Zobrist-style — a write
+    reported through {!touch} marks its object dirty, and only dirty
+    objects are re-read here, so the cost is O(writes since the last
+    digest) rather than O(objects).  (Factories preallocate their
+    object pools — the register-consensus factory allocates thousands
+    of registers up front — so the full fold dominated every
+    configuration fingerprint.)
+
+    Exactness rests on the touch contract: every physical mutation of
+    a registered object's state is reported via [touch ~write:true]
+    with the owning object's id while its registry is current.  The
+    instrumented base-object layer does this by construction — stores
+    route through [Slx_base_objects.store], which reports the {e
+    owning} cell even when the surrounding atomic action misdeclares
+    its footprint — and the sanitizer shadow dynamically checks
+    precisely this reporting.  {!registry_digest_full} is the
+    cross-check. *)
+
+val registry_digest_full : registry -> int
+(** The same digest recomputed from scratch — O(objects), what
+    {!registry_digest} cost before the incremental scheme.  Equal to
+    {!registry_digest} unless some mutation bypassed the touch
+    contract (the incremental digest would then be stale, and the
+    divergence is the diagnostic); used by audits, tests and the
+    before/after microbenchmarks. *)
+
+val mix64 : int -> int
+(** A 64-bit finalizing mixer (xorshift-star family, 63-bit-safe
+    constants): spreads small-int keys across the whole word.  Used by
+    the compact-key and bitstate machinery in {!Slx_core}. *)
 
 val hash_value : 'a -> int
-(** The deep structural hash used for every fingerprint component
-    ([Hashtbl.hash_param] with wide limits). *)
+(** The deep structural hash used for every fingerprint component: an
+    explicit full traversal folding every immediate, string byte and
+    float bit pattern through {!mix64}.  Unlike the polymorphic
+    [Hashtbl.hash] (which samples a bounded number of nodes and
+    silently truncates deep values) this hash sees the whole value, so
+    two configurations collide only with 64-bit-hash probability. *)
