@@ -26,9 +26,19 @@
        with the conflict-soundness sanitizer armed; nonzero exit on
        any footprint violation.
 
+   slx serve --port N --workers N --store FILE
+       Run the JSON-over-HTTP verification service: warm answers from
+       the store, shards cold queries across worker processes.
+
+   slx query [--kind explore|live] [--impl I] [--wait] [--port N] ...
+       Submit a query to a running server (or --status ID / --stats /
+       --shutdown).
+
    The exploration subcommands additionally take --trace FILE (record
-   a Chrome trace-event JSON file, loadable in Perfetto) and
-   --progress[=SECS] (live heartbeats to stderr).  *)
+   a Chrome trace-event JSON file, loadable in Perfetto),
+   --progress[=SECS] (live heartbeats to stderr), and --store FILE
+   (answer through the persistent verdict store: warm hits, frontier
+   resumes, and recording — see doc/model.md section 11).  *)
 
 open Cmdliner
 open Slx_liveness
@@ -37,6 +47,8 @@ module Obs = Slx_obs.Obs
 module Progress = Slx_obs.Progress
 module Json = Slx_obs.Json
 module Trace_export = Slx_obs.Trace_export
+module Vstore = Slx_store.Store
+module Persist = Slx_store.Persist
 
 (* ------------------------------------------------------------------ *)
 (* Shared observability flags.                                         *)
@@ -67,6 +79,36 @@ let progress_json_arg =
         ~doc:
           "Emit progress heartbeats as JSON lines instead of the human \
            one-liner (implies $(b,--progress)).")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"FILE"
+        ~doc:
+          "Answer through the persistent verdict store at $(docv): serve \
+           an exact stored verdict warm (witnesses re-validated), resume \
+           a deeper run from a stored frontier, and record this run's \
+           verdict for the next one.  Created if missing; corrupt or \
+           stale stores degrade to cold runs, never to wrong answers.")
+
+(* Graceful ^C for the exploration subcommands: the engines poll the
+   flag once per node and abandon with partial statistics; a
+   store-backed run commits its counters first. *)
+let install_sigint () =
+  let hit = ref false in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> hit := true))
+   with Invalid_argument _ | Sys_error _ -> ());
+  fun () -> !hit
+
+let report_interrupt ~store ~stats =
+  Printf.eprintf "[slx] interrupted: partial statistics below%s\n%!"
+    (match store with
+    | Some path -> Printf.sprintf " (store committed to %s)" path
+    | None -> "");
+  Format.eprintf "%a@." Explore_stats.pp stats;
+  130
 
 let make_obs ~trace ~progress ~progress_json =
   let reporter =
@@ -422,7 +464,7 @@ let explore_cmd =
          & info [ "bitstate" ] ~doc ~docv:"BITS")
   in
   let run impl depth max_crashes domains no_cache cache_capacity no_por
-      no_dpor no_symmetry json naive sanitize no_compact bitstate trace
+      no_dpor no_symmetry json naive sanitize no_compact bitstate store trace
       progress progress_json =
     let open Slx_consensus in
     let factory =
@@ -451,56 +493,97 @@ let explore_cmd =
         if naive && sanitize then
           prerr_endline
             "[slx] note: the naive engine does not sanitize; use slx audit";
-        let e =
+        if naive && store <> None then
+          prerr_endline
+            "[slx] note: the naive engine bypasses the store";
+        let cancel = install_sigint () in
+        let run_engine () =
           if naive then
-            Explore.explore_naive ~n:2 ~factory ~invoke ~depth ~max_crashes
-              ~check ()
-          else
+            ( Explore.explore_naive ~n:2 ~factory ~invoke ~depth ~max_crashes
+                ~check (),
+              None )
+          else begin
             let domains =
               if domains = 0 then Domain.recommended_domain_count ()
               else domains
             in
-            Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes
-              ~cache:(not no_cache) ?cache_capacity ~por:(not no_por)
-              ~dpor:(not no_dpor) ~symmetry:(not no_symmetry) ~domains ~obs
-              ~sanitize ~compact:(not no_compact) ?bitstate ~check ()
+            match store with
+            | None ->
+                ( Explore.explore ~n:2 ~factory ~invoke ~depth ~max_crashes
+                    ~cache:(not no_cache) ?cache_capacity ~por:(not no_por)
+                    ~dpor:(not no_dpor) ~symmetry:(not no_symmetry) ~domains
+                    ~obs ~sanitize ~compact:(not no_compact) ?bitstate ~cancel
+                    ~check (),
+                  None )
+            | Some path ->
+                let st = Vstore.open_ path in
+                let qid =
+                  Persist.query_key ~ident:impl ~check:"consensus-safety"
+                    ~n:2
+                    ~registry_digest:(Persist.instance_digest ~n:2 ~factory)
+                    ~max_crashes ~por:(not no_por) ~dpor:(not no_dpor)
+                    ~symmetry:(not no_symmetry) ()
+                in
+                let e, source =
+                  Persist.run_explore ~store:st ~qid ~n:2 ~factory ~invoke
+                    ~depth ~max_crashes ~cache:(not no_cache) ?cache_capacity
+                    ~por:(not no_por) ~dpor:(not no_dpor)
+                    ~symmetry:(not no_symmetry) ~domains ~obs ~sanitize
+                    ~compact:(not no_compact) ?bitstate ~cancel ~check ()
+                in
+                (e, Some source)
+          end
         in
-        write_trace obs trace;
-        if json then begin
-          let outcome, runs =
-            match e.Explore.outcome with
-            | Explore.Ok runs -> ("ok", runs)
-            | Explore.Counterexample _ -> ("counterexample", 0)
-          in
-          Printf.printf
-            "{\"impl\": %S, \"depth\": %d, \"max_crashes\": %d, \
-             \"outcome\": %S, \"runs\": %d, \"stats\": %s}\n"
-            impl depth max_crashes outcome runs
-            (Explore_stats.to_json e.Explore.stats)
-        end
-        else begin
-          (match e.Explore.outcome with
-          | Explore.Ok runs ->
-              Printf.printf "safe on all %d bounded schedules\n" runs
-          | Explore.Counterexample r ->
-              Format.printf "counterexample: %a@." Consensus_type.pp_history
-                r.Slx_sim.Run_report.history;
-              let pp_d fmt = function
-                | Slx_sim.Driver.Schedule p -> Format.fprintf fmt "S%d" p
-                | Slx_sim.Driver.Invoke (p, Consensus_type.Propose v) ->
-                    Format.fprintf fmt "I%d(%d)" p v
-                | Slx_sim.Driver.Crash p -> Format.fprintf fmt "C%d" p
-                | Slx_sim.Driver.Stop -> Format.fprintf fmt "stop"
+        match run_engine () with
+        | exception Explore.Interrupted stats ->
+            write_trace obs trace;
+            report_interrupt ~store ~stats
+        | e, source -> begin
+            write_trace obs trace;
+            let source_string =
+              Option.map (Format.asprintf "%a" Persist.pp_source) source
+            in
+            if json then begin
+              let outcome, runs =
+                match e.Explore.outcome with
+                | Explore.Ok runs -> ("ok", runs)
+                | Explore.Counterexample _ -> ("counterexample", 0)
               in
-              Option.iter
-                (fun script ->
-                  Format.printf "witness script: %a@."
-                    (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_d)
-                    script)
-                e.Explore.witness_script);
-          Format.printf "%a@." Explore_stats.pp e.Explore.stats
-        end;
-        0
+              Printf.printf
+                "{\"impl\": %S, \"depth\": %d, \"max_crashes\": %d, \
+                 \"outcome\": %S, \"runs\": %d%s, \"stats\": %s}\n"
+                impl depth max_crashes outcome runs
+                (match source_string with
+                | None -> ""
+                | Some s -> Printf.sprintf ", \"store_source\": %S" s)
+                (Explore_stats.to_json e.Explore.stats)
+            end
+            else begin
+              (match e.Explore.outcome with
+              | Explore.Ok runs ->
+                  Printf.printf "safe on all %d bounded schedules\n" runs
+              | Explore.Counterexample r ->
+                  Format.printf "counterexample: %a@." Consensus_type.pp_history
+                    r.Slx_sim.Run_report.history;
+                  let pp_d fmt = function
+                    | Slx_sim.Driver.Schedule p -> Format.fprintf fmt "S%d" p
+                    | Slx_sim.Driver.Invoke (p, Consensus_type.Propose v) ->
+                        Format.fprintf fmt "I%d(%d)" p v
+                    | Slx_sim.Driver.Crash p -> Format.fprintf fmt "C%d" p
+                    | Slx_sim.Driver.Stop -> Format.fprintf fmt "stop"
+                  in
+                  Option.iter
+                    (fun script ->
+                      Format.printf "witness script: %a@."
+                        (Format.pp_print_list ~pp_sep:Format.pp_print_space
+                           pp_d)
+                        script)
+                    e.Explore.witness_script);
+              Option.iter (Printf.printf "store: %s\n") source_string;
+              Format.printf "%a@." Explore_stats.pp e.Explore.stats
+            end;
+            0
+          end
       end
   in
   Cmd.v
@@ -510,7 +593,7 @@ let explore_cmd =
       const run $ impl_arg $ depth_arg $ crashes_arg $ domains_arg
       $ no_cache_arg $ cache_capacity_arg $ no_por_arg $ no_dpor_arg
       $ no_symmetry_arg $ json_arg $ naive_arg $ sanitize_arg
-      $ no_compact_arg $ bitstate_arg $ trace_arg
+      $ no_compact_arg $ bitstate_arg $ store_arg $ trace_arg
       $ progress_arg $ progress_json_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -603,7 +686,7 @@ let live_explore_cmd =
   in
   let run impl property n depth max_crashes max_period pump_ticks invoke_order
       no_dpor proviso_bound no_cache cache_capacity sanitize no_compact json
-      trace progress progress_json =
+      store trace progress progress_json =
     let open Slx_consensus in
     let factory =
       match impl with
@@ -643,13 +726,44 @@ let live_explore_cmd =
         in
         let good (_ : Consensus_type.response) = true in
         let obs = make_obs ~trace ~progress ~progress_json in
-        let r =
-          Live_explore.search ~n ~factory ~invoke ~good ~point ~depth
-            ~max_crashes ?max_period ?pump_ticks ~invoke_order
-            ~dpor:(not no_dpor) ?proviso_bound ~cache:(not no_cache)
-            ?cache_capacity ~sanitize ~compact:(not no_compact) ~obs ()
+        let cancel = install_sigint () in
+        let run_engine () =
+          match store with
+          | None ->
+              ( Live_explore.search ~n ~factory ~invoke ~good ~point ~depth
+                  ~max_crashes ?max_period ?pump_ticks ~invoke_order
+                  ~dpor:(not no_dpor) ?proviso_bound ~cache:(not no_cache)
+                  ?cache_capacity ~sanitize ~compact:(not no_compact) ~obs
+                  ~cancel (),
+                None )
+          | Some path ->
+              let st = Vstore.open_ path in
+              let qid =
+                Persist.query_key ~ident:impl
+                  ~check:("live:" ^ Format.asprintf "%a" Freedom.pp point)
+                  ~n
+                  ~registry_digest:(Persist.instance_digest ~n ~factory)
+                  ~max_crashes ~dpor:(not no_dpor) ~invoke_order
+                  ?proviso_bound ()
+              in
+              let r, source =
+                Persist.run_live ~store:st ~qid ~n ~factory ~invoke ~good
+                  ~point ~depth ~max_crashes ?max_period ?pump_ticks
+                  ~invoke_order ~dpor:(not no_dpor) ?proviso_bound
+                  ~cache:(not no_cache) ?cache_capacity ~obs ~sanitize
+                  ~compact:(not no_compact) ~cancel ()
+              in
+              (r, Some source)
         in
+        match run_engine () with
+        | exception Explore.Interrupted stats ->
+            write_trace obs trace;
+            report_interrupt ~store ~stats
+        | r, source ->
         write_trace obs trace;
+        let source_string =
+          Option.map (Format.asprintf "%a" Persist.pp_source) source
+        in
         let dec_string = function
           | Slx_sim.Driver.Schedule p -> Printf.sprintf "S%d" p
           | Slx_sim.Driver.Invoke (p, Consensus_type.Propose v) ->
@@ -680,8 +794,11 @@ let live_explore_cmd =
           in
           Printf.printf
             "{\"impl\": %S, \"property\": %S, \"n\": %d, \"depth\": %d, \
-             \"max_crashes\": %d, \"outcome\": %S%s, \"stats\": %s}\n"
+             \"max_crashes\": %d, \"outcome\": %S%s%s, \"stats\": %s}\n"
             impl property_string n depth max_crashes outcome cert_json
+            (match source_string with
+            | None -> ""
+            | Some s -> Printf.sprintf ", \"store_source\": %S" s)
             (Explore_stats.to_json r.Live_explore.stats)
         end
         else begin
@@ -700,6 +817,7 @@ let live_explore_cmd =
                 "no fair non-progressing cycle within depth %d: %s is not \
                  excluded on this bounded graph\n"
                 depth property_string);
+          Option.iter (Printf.printf "store: %s\n") source_string;
           Format.printf "%a@." Explore_stats.pp r.Live_explore.stats
         end;
         0
@@ -713,7 +831,7 @@ let live_explore_cmd =
       const run $ impl_arg $ property_arg $ procs_arg $ depth_arg $ crashes_arg
       $ max_period_arg $ pump_arg $ invoke_order_arg $ no_dpor_arg
       $ proviso_arg $ no_cache_arg $ cache_capacity_arg $ sanitize_arg
-      $ no_compact_arg $ json_arg $ trace_arg $ progress_arg
+      $ no_compact_arg $ json_arg $ store_arg $ trace_arg $ progress_arg
       $ progress_json_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -722,12 +840,73 @@ let live_explore_cmd =
 let stats_cmd =
   let trace_file_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"The Chrome trace-event JSON file to replay.")
   in
-  let run path =
+  let store_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:"Summarize the persistent verdict store at $(docv): \
+                records, hit/resume counters, steps saved, health.")
+  in
+  let store_stats path =
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf "%s: no such store\n" path;
+      1
+    end
+    else begin
+      let st = Vstore.open_ path in
+      let h = Vstore.health st and c = Vstore.counters st in
+      let records = Vstore.records st in
+      Printf.printf "store: %s\n" path;
+      Printf.printf "  engine:   %s\n" Vstore.engine_version;
+      (match h.Vstore.h_invalidated with
+      | Some reason -> Printf.printf "  INVALIDATED: %s\n" reason
+      | None -> ());
+      if h.Vstore.h_records_dropped > 0 then
+        Printf.printf "  dropped:  %d corrupt frame(s)\n"
+          h.Vstore.h_records_dropped;
+      Printf.printf
+        "  counters: %d queries, %d warm, %d resumed, %d cold, %d \
+         rejected, %d steps saved\n"
+        c.Vstore.c_queries c.Vstore.c_warm_hits c.Vstore.c_resumes
+        c.Vstore.c_colds c.Vstore.c_rejected c.Vstore.c_steps_saved;
+      Printf.printf "  records:  %d\n" (List.length records);
+      List.iter
+        (fun (r : Vstore.record) ->
+          let verdict, budgets =
+            match r.Vstore.r_verdict with
+            | Vstore.V_ok n -> (Printf.sprintf "ok(%d runs)" n, "")
+            | Vstore.V_counterexample w ->
+                (Printf.sprintf "counterexample(%d decisions)"
+                   (List.length w), "")
+            | Vstore.V_no_fair_cycle ->
+                ( "no-fair-cycle",
+                  Printf.sprintf " mp=%d pt=%d" r.Vstore.r_max_period
+                    r.Vstore.r_pump_ticks )
+            | Vstore.V_lasso { stem; cycle } ->
+                ( Printf.sprintf "lasso(stem %d, cycle %d)"
+                    (List.length stem) (List.length cycle),
+                  Printf.sprintf " mp=%d pt=%d" r.Vstore.r_max_period
+                    r.Vstore.r_pump_ticks )
+          in
+          Printf.printf
+            "    qid=%016x depth=%-2d%s %-28s steps=%-9d %s\n"
+            r.Vstore.r_qid r.Vstore.r_depth budgets verdict r.Vstore.r_steps
+            (match r.Vstore.r_frontier with
+            | Some f ->
+                Printf.sprintf "frontier(%d seeds)"
+                  (List.length f.Vstore.f_seeds)
+            | None -> "no frontier"))
+        records;
+      0
+    end
+  in
+  let trace_stats path =
     match Json.parse_file path with
     | Error e ->
         Printf.eprintf "%s: %s\n" path e;
@@ -879,12 +1058,24 @@ let stats_cmd =
             0
       end
   in
+  let run store trace =
+    let store_rc = Option.map store_stats store in
+    match (trace, store_rc) with
+    | None, Some rc -> rc
+    | None, None ->
+        prerr_endline "slx stats needs --trace FILE and/or --store FILE";
+        2
+    | Some path, store_rc ->
+        let trc = trace_stats path in
+        if store_rc = Some 0 || store_rc = None then trc
+        else Option.get store_rc
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Validate a saved exploration trace and replay it into summary \
-          histograms")
-    Term.(const run $ trace_file_arg)
+          histograms, or summarize a persistent verdict store")
+    Term.(const run $ store_file_arg $ trace_file_arg)
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                               *)
@@ -979,6 +1170,164 @@ let audit_cmd =
       const run $ json_arg $ ci_arg $ oracle_arg $ depth_arg $ group_arg
       $ case_arg $ fixtures_arg $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / query / worker                                              *)
+
+let serve_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR"
+             ~doc:"Bind address (an IP literal).")
+  in
+  let port_arg =
+    Arg.(value & opt int 8844 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers"; "j" ] ~docv:"N"
+             ~doc:"Worker processes (the slx binary re-executed).")
+  in
+  let store_path_arg =
+    Arg.(value & opt string "slx.store"
+         & info [ "store" ] ~docv:"FILE"
+             ~doc:"The persistent verdict store (coordinator is the only \
+                   writer).")
+  in
+  let run host port workers store =
+    Slx_serve.Serve.main ~host ~port ~workers ~store ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification service: a JSON-over-HTTP coordinator that \
+          answers queries warm from the store, shards cold ones across \
+          worker processes (frontier slices, leased and re-leased on \
+          crash), and dedupes identical in-flight queries.  Endpoints: \
+          POST /query, GET /status/ID, GET /stats, POST /shutdown.")
+    Term.(const run $ host_arg $ port_arg $ workers_arg $ store_path_arg)
+
+let query_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 8844 & info [ "port" ] ~docv:"PORT"
+         ~doc:"Server port.")
+  in
+  let kind_arg =
+    Arg.(value & opt string "explore"
+         & info [ "kind"; "k" ] ~doc:"Query kind: explore or live.")
+  in
+  let impl_arg =
+    Arg.(value & opt string "cas"
+         & info [ "impl"; "i" ] ~doc:"Implementation: cas, register, or \
+                                      selfish.")
+  in
+  let property_arg =
+    Arg.(value & opt string "obstruction"
+         & info [ "property"; "p" ]
+             ~doc:"Liveness property (live queries): obstruction, lock, \
+                   wait, or l,k.")
+  in
+  let procs_arg =
+    Arg.(value & opt int 2 & info [ "procs"; "n" ] ~doc:"System size n.")
+  in
+  let depth_arg =
+    Arg.(value & opt int 8 & info [ "depth" ] ~doc:"Schedule-tree depth.")
+  in
+  let crashes_arg =
+    Arg.(value & opt int 0 & info [ "crashes" ] ~doc:"Max crash branches.")
+  in
+  let max_period_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-period" ] ~doc:"Liveness cycle-length bound.")
+  in
+  let pump_arg =
+    Arg.(value & opt (some int) None
+         & info [ "pump" ] ~doc:"Liveness pump budget in ticks.")
+  in
+  let wait_arg =
+    Arg.(value & flag
+         & info [ "wait"; "w" ]
+             ~doc:"Stream progress heartbeats and the result (ndjson) \
+                   instead of returning a ticket.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Server-side deadline for this query.")
+  in
+  let status_arg =
+    Arg.(value & opt (some int) None
+         & info [ "status" ] ~docv:"ID" ~doc:"Fetch a query's status \
+                                              instead of submitting one.")
+  in
+  let stats_flag_arg =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Fetch the server's /stats instead of \
+                                  submitting a query.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Ask the server to drain and exit.")
+  in
+  let run host port kind impl property n depth crashes max_period pump wait
+      timeout status stats shutdown =
+    let finish = function
+      | Ok () -> 0
+      | Error e ->
+          prerr_endline e;
+          1
+    in
+    if shutdown then finish (Slx_serve.Client.shutdown ~host ~port ())
+    else if stats then
+      finish (Slx_serve.Client.get ~host ~port "/stats" ~out:stdout)
+    else
+      match status with
+      | Some id ->
+          finish
+            (Slx_serve.Client.get ~host ~port
+               (Printf.sprintf "/status/%d" id)
+               ~out:stdout)
+      | None ->
+          let opt_int k = function
+            | None -> ""
+            | Some v -> Printf.sprintf ", %S: %d" k v
+          in
+          let spec =
+            Printf.sprintf
+              "{\"kind\": %S, \"impl\": %S, \"property\": %S, \"n\": %d, \
+               \"depth\": %d, \"crashes\": %d%s%s}"
+              kind impl property n depth crashes
+              (opt_int "max_period" max_period)
+              (opt_int "pump" pump)
+          in
+          finish
+            (Slx_serve.Client.post_query ~host ~port ~wait ?timeout spec
+               ~out:stdout)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Submit a verification query to a running $(b,slx serve) (or \
+          fetch --status ID, --stats, or --shutdown).")
+    Term.(
+      const run $ host_arg $ port_arg $ kind_arg $ impl_arg $ property_arg
+      $ procs_arg $ depth_arg $ crashes_arg $ max_period_arg $ pump_arg
+      $ wait_arg $ timeout_arg $ status_arg $ stats_flag_arg $ shutdown_arg)
+
+(* The serve coordinator re-executes this binary with argv
+   [| slx; "worker" |]; the subcommand name is part of the protocol. *)
+let worker_cmd =
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "(internal) Run the serve worker loop: JSON-lines tasks on \
+          stdin, heartbeats and results on stdout.  Spawned by \
+          $(b,slx serve); not meant to be run by hand.")
+    Term.(const (fun () -> Slx_serve.Worker.main ()) $ const ())
+
 let () =
   let info =
     Cmd.info "slx" ~version:"1.0.0"
@@ -986,4 +1335,5 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
        [ figure1_cmd; game_cmd; tm_game_cmd; theorems_cmd; mutex_cmd;
-         explore_cmd; live_explore_cmd; stats_cmd; audit_cmd ]))
+         explore_cmd; live_explore_cmd; stats_cmd; audit_cmd; serve_cmd;
+         query_cmd; worker_cmd ]))

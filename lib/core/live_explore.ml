@@ -10,12 +10,27 @@ type ('inv, 'res) outcome =
   | Lasso of ('inv, 'res) Lasso.cert
   | No_fair_cycle
 
+type live_seed = { ls_script : int list; ls_sleep : int list }
+
+type live_frontier = {
+  lf_depth : int;
+  lf_max_period : int;
+  lf_pump_ticks : int;
+  lf_base_runs : int;
+  lf_seeds : live_seed list;
+}
+
 type ('inv, 'res) result = {
   outcome : ('inv, 'res) outcome;
   stats : Explore_stats.t;
+  frontier : live_frontier option;
 }
 
 exception Found_lasso
+
+(* Internal: the [?cancel] poll fired; converted to
+   [Explore.Interrupted] at the top level. *)
+exception Cancelled
 
 (* Transposition keys pair the raw configuration fingerprint with the
    last [2 * max_period] abstract trace cells: every candidate cycle
@@ -61,6 +76,11 @@ type ('inv, 'res) state = {
   mutable cycles : int;
   mutable fair : int;
   mutable found : ('inv, 'res) Lasso.cert option;
+  mutable fr_cuts : int;
+      (* Persist mode: cut leaves recorded as frontier seeds; suffix
+         cache entries are vetoed for subtrees containing any, as in
+         {!Explore}. *)
+  mutable fr_rev_seeds : live_seed list;
   ticks : int ref;
   table : (('inv, 'res) key, unit) Clock_cache.t;
   shadow : Runtime.shadow option;  (* non-raising: counts only *)
@@ -118,6 +138,8 @@ let new_state ?capacity ?(sink = Telemetry.null) ?(progress = Progress.off)
     cycles = 0;
     fair = 0;
     found = None;
+    fr_cuts = 0;
+    fr_rev_seeds = [];
     ticks = ref 0;
     table = Clock_cache.create ?capacity ~sink ();
     shadow =
@@ -300,8 +322,14 @@ let eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks ~blocked
 let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
     ?max_period ?pump_ticks ?(invoke_order = false) ?(dpor = false)
     ?proviso_bound ?(cache = true) ?cache_capacity ?(obs = Obs.disabled)
-    ?(sanitize = false) ?(compact = true) () =
+    ?(sanitize = false) ?(compact = true) ?(persist = false) ?resume ?cancel
+    () =
   let t0 = Clock.now_ns () in
+  let cancel = match cancel with Some f -> f | None -> fun () -> false in
+  (match resume with
+  | Some f when f.lf_depth >= depth ->
+      invalid_arg "Live_explore.search: resume frontier not shallower"
+  | _ -> ());
   (* Default period bound: ceil(depth / 2), the largest period for
      which two full repetitions fit in a depth-bounded suffix at {e
      some} node of the walk (detection at a node of length [len] needs
@@ -387,6 +415,22 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
            && Option.is_none (invoke view p))
          all_procs)
   in
+  (* Cut-leaf test, as in {!Explore.explore}: would the menu be
+     nonempty with the depth guard lifted?  ([invoke_order] never
+     empties a nonempty raw menu — the least invocation survives.) *)
+  let has_future view crashes =
+    List.exists
+      (fun p ->
+        match view.Driver.status p with
+        | Runtime.Ready -> true
+        | Runtime.Idle -> invoke view p <> None
+        | Runtime.Crashed -> false)
+      all_procs
+    || crashes < max_crashes
+       && List.exists
+            (fun p -> view.Driver.status p <> Runtime.Crashed)
+            all_procs
+  in
   (* Settle a child's candidate sleep set once its edge [d] has
      executed (DPOR only).  Three filters, in order: (1) race
      reversal — wake every sleeper whose pending footprint conflicts
@@ -449,6 +493,7 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
         sleep
   and visit_body cursor rev_script rev_cells rev_cids rev_goods len crashes
       sleep =
+    if cancel () then raise Cancelled;
     let key =
       if not cache then None
       else if compact then
@@ -477,11 +522,25 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
         st.hits <- st.hits + 1;
         Telemetry.emit st.sink Telemetry.Cache_hit len 0
     | None ->
+        let cuts0 = st.fr_cuts in
         let view = Runner.Cursor.view cursor in
         eval_candidates st ~factory ~good ~point ~max_period ~pump_ticks
           ~blocked:(blocked_at view) cursor rev_script rev_cells rev_goods len;
         (match menu view len crashes with
-        | [] -> st.runs <- st.runs + 1
+        | [] ->
+            st.runs <- st.runs + 1;
+            if persist && has_future view crashes then begin
+              (* A cut leaf: record the coded script and the sleep set
+                 with its proviso streaks (packed, as in the compact
+                 key) so a deeper resume re-settles nothing. *)
+              st.fr_cuts <- st.fr_cuts + 1;
+              st.fr_rev_seeds <-
+                {
+                  ls_script = List.rev_map Explore.code_of_decision rev_script;
+                  ls_sleep = List.map (fun (z, s) -> (s lsl 8) lor z) sleep;
+                }
+                :: st.fr_rev_seeds
+            end
         | decisions ->
             (* Sleep-set filter, guarded by the cycle proviso.  A slept
                process's step commutes with everything executed since
@@ -583,19 +642,92 @@ let search ~n ~factory ~invoke ~good ~point ~depth ?(max_crashes = 0)
                   (goods_of ~good fresh :: rev_goods)
                   (len + 1) crashes' settled)
               children);
-        Option.iter (fun k -> Clock_cache.replace st.table k ()) key
+        (* Persist mode: as in {!Explore}, never cache a subtree
+           holding cut leaves — a hit would hide their occurrences
+           from the seed log. *)
+        if st.fr_cuts = cuts0 || not persist then
+          Option.iter (fun k -> Clock_cache.replace st.table k ()) key
   in
-  let root =
+  let make_cursor () =
     Runner.Cursor.create ~n ~factory:(factory ()) ~ticks:st.ticks
       ?shadow:st.shadow ?probe:st.probe ?encode:st.encode ()
   in
+  (* Resuming: replay each stored seed decision by decision, rebuilding
+     the abstract cells / good-response sets / interned cell ids the
+     walk would have carried (the {!certify_run} pattern), then visit
+     only the seed subtrees on top of the stored base run count. *)
+  let walk () =
+    match resume with
+    | None -> visit (make_cursor ()) [] [] [] [] 0 0 []
+    | Some f ->
+        st.runs <- f.lf_base_runs;
+        List.iter
+          (fun seed ->
+            let c = make_cursor () in
+            let rec go codes rev_script rev_cells rev_cids rev_goods len
+                crashes =
+              match codes with
+              | [] -> (rev_script, rev_cells, rev_cids, rev_goods, len, crashes)
+              | code :: tl ->
+                  let view = Runner.Cursor.view c in
+                  let d = Explore.decision_of_code ~invoke view code in
+                  let before = History.length view.Driver.history in
+                  Runner.Cursor.apply c d;
+                  let fresh =
+                    drop before
+                      (History.to_list (Runner.Cursor.view c).Driver.history)
+                  in
+                  let cell = cell_of d fresh in
+                  let rev_cids' =
+                    if compact then
+                      Intern.intern st.cells_pool cell :: rev_cids
+                    else rev_cids
+                  in
+                  go tl (d :: rev_script) (cell :: rev_cells) rev_cids'
+                    (goods_of ~good fresh :: rev_goods)
+                    (len + 1)
+                    (match d with
+                    | Driver.Crash _ -> crashes + 1
+                    | _ -> crashes)
+            in
+            let rev_script, rev_cells, rev_cids, rev_goods, len, crashes =
+              go seed.ls_script [] [] [] [] 0 0
+            in
+            st.replayed <- st.replayed + len;
+            let sleep =
+              List.map (fun c -> (c land 0xff, c asr 8)) seed.ls_sleep
+            in
+            visit c rev_script rev_cells rev_cids rev_goods len crashes sleep)
+          f.lf_seeds
+  in
   let outcome =
-    match visit root [] [] [] [] 0 0 [] with
+    match walk () with
     | () -> No_fair_cycle
     | exception Found_lasso -> Lasso (Option.get st.found)
+    | exception Cancelled ->
+        raise
+          (Explore.Interrupted
+             (stats_of_state
+                ~elapsed_ns:(Clock.now_ns () - t0)
+                ~events_dropped:(Obs.events_dropped obs)
+                st))
+  in
+  let frontier =
+    match outcome with
+    | No_fair_cycle when persist ->
+        Some
+          {
+            lf_depth = depth;
+            lf_max_period = max_period;
+            lf_pump_ticks = pump_ticks;
+            lf_base_runs = st.runs - st.fr_cuts;
+            lf_seeds = List.rev st.fr_rev_seeds;
+          }
+    | _ -> None
   in
   {
     outcome;
+    frontier;
     stats =
       stats_of_state
         ~elapsed_ns:(Clock.now_ns () - t0)
@@ -641,6 +773,62 @@ let certify_run ~n ~factory ~driver ~good ~point ~max_steps ?max_period
   in
   {
     outcome;
+    frontier = None;
     stats =
       stats_of_state ~elapsed_ns:(Clock.now_ns () - t0) ~events_dropped:0 st;
   }
+
+let validate_cert_codes ~n ~factory ~invoke ~good ~point ~pump_ticks ~stem
+    ~cycle () =
+  let p = List.length cycle in
+  if p = 0 then None
+  else
+    let ticks = ref 0 in
+    let cursor = Runner.Cursor.create ~n ~factory:(factory ()) ~ticks () in
+    let apply_codes codes =
+      List.map
+        (fun code ->
+          let view = Runner.Cursor.view cursor in
+          let d = Explore.decision_of_code ~invoke view code in
+          let before = History.length view.Driver.history in
+          Runner.Cursor.apply cursor d;
+          let fresh =
+            drop before
+              (History.to_list (Runner.Cursor.view cursor).Driver.history)
+          in
+          (d, cell_of d fresh))
+        codes
+    in
+    match
+      let stem_ds = apply_codes stem in
+      let cycle_ds = apply_codes cycle in
+      (stem_ds, cycle_ds)
+    with
+    | exception _ -> None
+    | stem_ds, cycle_ds ->
+        let view = Runner.Cursor.view cursor in
+        let blocked =
+          Proc.Set.of_list
+            (List.filter
+               (fun q ->
+                 view.Driver.status q = Runtime.Idle
+                 && Option.is_none (invoke view q))
+               (Proc.all ~n))
+        in
+        let cert =
+          Lasso.cert_of_cursor
+            ~stem:(List.map fst stem_ds)
+            ~cycle:(List.map fst cycle_ds)
+            ~cells:(List.map snd cycle_ds)
+            cursor
+        in
+        let reps = max 2 ((pump_ticks + p - 1) / p) in
+        (match Lasso.pump ~factory:(factory ()) ~ticks ~repetitions:reps cert with
+        | Error _ -> None
+        | Ok rep ->
+            if
+              Proc.Set.subset (Fairness.starved rep) blocked
+              && (not (Freedom.holds ~good rep point))
+              && Option.is_some (Lasso.window_period rep)
+            then Some cert
+            else None)

@@ -1,0 +1,103 @@
+let connect ?(host = "127.0.0.1") ~port () =
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> Error (Printf.sprintf "bad host %S" host)
+  | addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot reach %s:%d: %s" host port
+               (Unix.error_message e)))
+
+let send_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+(* Responses are [Connection: close]: stream everything after the
+   header block straight to [out] until EOF.  That one loop serves
+   both fixed-length JSON bodies and ndjson heartbeat streams. *)
+let relay_body fd ~out =
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 256 in
+  let in_body = ref false in
+  let rec loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        if !in_body then (
+          output_string out (Bytes.sub_string buf 0 n);
+          flush out)
+        else begin
+          Buffer.add_subbytes acc buf 0 n;
+          let s = Buffer.contents acc in
+          (match String.index_opt s '\r' with
+          | Some _ -> (
+              match
+                (* End of header block. *)
+                let rec find i =
+                  if i + 3 >= String.length s then None
+                  else if String.sub s i 4 = "\r\n\r\n" then Some (i + 4)
+                  else find (i + 1)
+                in
+                find 0
+              with
+              | Some body_off ->
+                  in_body := true;
+                  output_string out
+                    (String.sub s body_off (String.length s - body_off));
+                  flush out
+              | None -> ())
+          | None -> ());
+          ()
+        end;
+        loop ()
+  in
+  (try loop () with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let request ?host ~port ~meth ~path ?(body = "") ~out () =
+  match connect ?host ~port () with
+  | Error _ as e -> e
+  | Ok fd -> (
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: slx\r\nContent-Length: %d\r\n\
+           Connection: close\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      match send_all fd req with
+      | () ->
+          relay_body fd ~out;
+          Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (Unix.error_message e))
+
+(* The body is the spec object with the transport members spliced in;
+   validating it parses here beats a server-side 400 later. *)
+let post_query ?host ~port ~wait ?timeout spec_json ~out =
+  match Slx_obs.Json.parse spec_json with
+  | Error e -> Error ("bad spec JSON: " ^ e)
+  | Ok (Slx_obs.Json.Obj _) ->
+      let trimmed = String.trim spec_json in
+      let inner = String.sub trimmed 0 (String.length trimmed - 1) in
+      let sep = if String.trim (String.sub inner 1 (String.length inner - 1)) = "" then "" else ", " in
+      let body =
+        Printf.sprintf "%s%s\"wait\": %b%s}" inner sep wait
+          (match timeout with
+          | None -> ""
+          | Some s -> Printf.sprintf ", \"timeout\": %g" s)
+      in
+      request ?host ~port ~meth:"POST" ~path:"/query" ~body ~out ()
+  | Ok _ -> Error "spec must be a JSON object"
+
+let get ?host ~port path ~out = request ?host ~port ~meth:"GET" ~path ~out ()
+
+let shutdown ?host ~port () =
+  request ?host ~port ~meth:"POST" ~path:"/shutdown" ~out:stdout ()

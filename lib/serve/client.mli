@@ -1,0 +1,32 @@
+(** The [slx query] side of the wire: a minimal HTTP/1.1 client for
+    {!Serve}, built on the same plain [Unix] sockets.
+
+    Every call opens one connection, sends one request, and reads to
+    close (the server sets [Connection: close] on every response), so
+    there is no connection state to manage.  Streaming responses
+    ([POST /query] with [wait]) are relayed line-by-line to [out] as
+    they arrive — heartbeats and the final result object — which is
+    exactly what a terminal or a pipe into [jq] wants. *)
+
+val post_query :
+  ?host:string ->
+  port:int ->
+  wait:bool ->
+  ?timeout:float ->
+  string ->
+  out:out_channel ->
+  (unit, string) result
+(** Submit the given spec JSON (the body's ["spec"]-level members —
+    see {!Queries.spec_of_json}).  With [wait:false] prints the [202]
+    ticket ([{"id", "deduped"}]); with [wait:true] streams heartbeats
+    until the result line.  [timeout] is forwarded to the server as
+    the query's deadline. *)
+
+val get :
+  ?host:string -> port:int -> string -> out:out_channel ->
+  (unit, string) result
+(** [GET] an arbitrary path ([/status/ID], [/stats]) and print the
+    response body. *)
+
+val shutdown : ?host:string -> port:int -> unit -> (unit, string) result
+(** [POST /shutdown] — asks the server to drain and exit. *)

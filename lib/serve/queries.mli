@@ -1,0 +1,105 @@
+(** The serve subsystem's query vocabulary: what a verification query
+    {e is} on the wire, and how any process — coordinator, worker, or
+    the [slx query] client — runs one.
+
+    A query names an implementation and property from the same
+    vocabulary as the [slx explore] / [slx live-explore] subcommands
+    (consensus implementations [cas]/[register]/[selfish]; the
+    freedom-point grammar of the CLI), with the CLI's default
+    reduction flags pinned — so a verdict computed by the service, by
+    a worker, or by the CLI with [--store] lands on the {e same}
+    store key ({!qid}) and they warm-serve each other.
+
+    Tasks are the unit of work leased to workers: a [Full] run, a
+    shallow [Split] pass that cuts a frontier for sharding, or a
+    [Slice] resuming a subset of frontier seeds (base totals are
+    added once by the coordinator).  {!run_task} executes any of them
+    and returns the result as a JSON object string — the exact line a
+    worker writes back. *)
+
+open Slx_obs
+
+type spec = {
+  sp_kind : [ `Explore | `Live ];
+  sp_impl : string;  (** cas | register | selfish. *)
+  sp_property : string;
+      (** Liveness only: obstruction | lock | wait | "l,k".  [""] for
+          safety queries. *)
+  sp_n : int;
+  sp_depth : int;
+  sp_crashes : int;
+  sp_max_period : int;  (** Resolved (liveness); 0 for safety. *)
+  sp_pump : int;  (** Resolved (liveness); 0 for safety. *)
+}
+
+val spec_of_json : Json.t -> (spec, string) result
+(** Parse a client query object: [kind] ("explore" | "live"), [impl],
+    [n], [depth], [crashes], and for liveness [property],
+    [max_period], [pump] — unknown implementations, malformed freedom
+    points and non-positive bounds are errors, so a bad query dies at
+    the door instead of inside a worker.  Liveness defaults resolve
+    here ([max_period = ceil(depth/2)], [pump = 4*depth]). *)
+
+val spec_to_json : spec -> string
+
+val key : spec -> string
+(** Canonical dedup key: two requests with equal keys are the same
+    query (same verdict, same store record). *)
+
+val qid : spec -> (int, string) result
+(** The store key ({!Slx_store.Persist.query_key}) of this query,
+    with the implementation's instance digest and the pinned default
+    flags bound in.  [Error] on unknown implementation/property. *)
+
+type mode =
+  | Full  (** The whole depth-[sp_depth] tree, one worker. *)
+  | Split of int
+      (** A persist run at this shallower depth; the result carries
+          the frontier the coordinator slices. *)
+  | Slice of int * Slx_store.Store.seed list
+      (** Resume these seeds (cut at the given base depth) to full
+          depth; totals exclude the base, which the coordinator adds
+          exactly once. *)
+
+val mode_to_json : mode -> string
+val mode_of_json : Json.t -> (mode, string) result
+
+val run_task :
+  ?cancel:(unit -> bool) ->
+  ?progress:Progress.t ->
+  spec ->
+  mode ->
+  string
+(** Execute one task in-process and return its result as a one-line
+    JSON object (no trailing newline):
+
+    - safety: [{"outcome": "ok" | "counterexample", "runs", "digest",
+      "steps", "witness": [codes], "frontier": {...}}]
+    - liveness: [{"outcome": "no_fair_cycle" | "lasso", "stem",
+      "cycle", "period", "runs", "steps", "frontier": {...}}]
+    - [{"outcome": "cancelled", "steps"}] when [cancel] fired;
+    - [{"outcome": "error", "message"}] on a bad spec.
+
+    [Split] results always carry ["frontier"]; [Slice]/[Full] runs
+    carry theirs too (persist mode), so the coordinator can stitch a
+    full-depth frontier back into the store.  [progress] is handed to
+    the engine — pass a JSON-lines reporter on stdout and the task's
+    heartbeats interleave with the final line, which is
+    distinguishable by its ["outcome"] member. *)
+
+val error_result : string -> string
+(** [{"outcome": "error", "message": ...}] — the uniform failure form
+    of {!run_task}, exported for protocol-level errors (a task line
+    that does not even parse). *)
+
+val warm_result : spec -> Slx_store.Store.record -> string option
+(** Serve a stored record for exactly this query without exploring:
+    positive verdicts are trusted (the store's version header and the
+    qid vouch for them), witnesses are re-validated by replay
+    ({!Slx_core.Explore.run_of_codes} /
+    {!Slx_core.Live_explore.validate_cert_codes}).  [None] means the
+    record must not be served (failed validation, wrong budgets) and
+    the query has to be computed. *)
+
+val frontier_to_json : Slx_store.Store.frontier -> string
+val frontier_of_json : Json.t -> Slx_store.Store.frontier option

@@ -1,0 +1,1001 @@
+module Json = Slx_obs.Json
+module Store = Slx_store.Store
+
+(* ------------------------------------------------------------------ *)
+(* State.                                                              *)
+
+type worker = {
+  w_idx : int;
+  mutable w_pid : int;
+  mutable w_in : Unix.file_descr;  (* coordinator -> worker: task lines *)
+  mutable w_out : Unix.file_descr;  (* worker -> coordinator: results *)
+  mutable w_acc : Buffer.t;  (* partial line from w_out *)
+  mutable w_lease : int option;
+}
+
+type lease = {
+  l_id : int;
+  l_query : int;
+  l_mode : Queries.mode;
+  l_index : int;  (* slice position, for lex-correct witness choice *)
+  mutable l_cancelled : bool;
+}
+
+type qstate = Queued | Running | Done of string | Failed of string | Timeout
+
+type query = {
+  q_id : int;
+  q_spec : Queries.spec;
+  q_key : string;
+  q_qid : int;
+  q_created : float;
+  mutable q_state : qstate;
+  mutable q_pending : int;  (* outstanding leases *)
+  mutable q_slices : (int * Json.t) list;  (* slice index -> result *)
+  mutable q_base : Store.frontier option;  (* added exactly once *)
+  mutable q_base_depth : int;
+  mutable q_base_steps : int;  (* split/stored steps feeding r_steps *)
+  mutable q_source : string;
+  mutable q_deadline : float option;
+  mutable q_waiters : Unix.file_descr list;
+  mutable q_last_hb : string option;
+  mutable q_steps : int;
+}
+
+type client = { c_fd : Unix.file_descr; c_acc : Buffer.t }
+
+type t = {
+  store : Store.t;
+  listen_fd : Unix.file_descr;
+  workers : worker array;
+  leases : (int, lease) Hashtbl.t;
+  queries : (int, query) Hashtbl.t;
+  inflight : (string, int) Hashtbl.t;  (* dedup key -> query id *)
+  mutable pending : lease list;  (* FIFO; re-leases go to the front *)
+  mutable clients : client list;
+  mutable next_query : int;
+  mutable next_lease : int;
+  mutable dedup_hits : int;
+  mutable re_leases : int;
+  mutable timeouts : int;
+  mutable running : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small IO helpers.                                                   *)
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+(* Streamed waiters can die mid-query; a failed write just drops the
+   waiter rather than the coordinator. *)
+let try_write fd s =
+  match write_all fd s with () -> true | exception Unix.Unix_error _ -> false
+
+let respond ?(status = "200 OK") fd body =
+  let body = body ^ "\n" in
+  ignore
+    (try_write fd
+       (Printf.sprintf
+          "HTTP/1.1 %s\r\nContent-Type: application/json\r\n\
+           Content-Length: %d\r\nConnection: close\r\n\r\n%s"
+          status (String.length body) body));
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let stream_header fd =
+  try_write fd
+    "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+     Connection: close\r\n\r\n"
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Workers.                                                            *)
+
+let spawn_worker idx =
+  let task_r, task_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  Unix.set_close_on_exec task_w;
+  Unix.set_close_on_exec res_r;
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "worker" |]
+      task_r res_w Unix.stderr
+  in
+  Unix.close task_r;
+  Unix.close res_w;
+  {
+    w_idx = idx;
+    w_pid = pid;
+    w_in = task_w;
+    w_out = res_r;
+    w_acc = Buffer.create 256;
+    w_lease = None;
+  }
+
+let respawn_worker w =
+  close_quiet w.w_in;
+  close_quiet w.w_out;
+  (try ignore (Unix.waitpid [ Unix.WNOHANG ] w.w_pid)
+   with Unix.Unix_error _ -> ());
+  let fresh = spawn_worker w.w_idx in
+  w.w_pid <- fresh.w_pid;
+  w.w_in <- fresh.w_in;
+  w.w_out <- fresh.w_out;
+  w.w_acc <- Buffer.create 256;
+  w.w_lease <- None
+
+let send_task t w lease =
+  let line =
+    Printf.sprintf "{\"lease\": %d, \"spec\": %s, \"task\": %s}\n" lease.l_id
+      (Queries.spec_to_json
+         (Hashtbl.find t.queries lease.l_query).q_spec)
+      (Queries.mode_to_json lease.l_mode)
+  in
+  match write_all w.w_in line with
+  | () -> w.w_lease <- Some lease.l_id
+  | exception Unix.Unix_error _ ->
+      (* Dead pipe: the EOF path will re-lease and respawn. *)
+      t.pending <- lease :: t.pending
+
+let dispatch t =
+  Array.iter
+    (fun w ->
+      if w.w_lease = None then
+        match t.pending with
+        | [] -> ()
+        | lease :: rest ->
+            t.pending <- rest;
+            send_task t w lease)
+    t.workers
+
+(* ------------------------------------------------------------------ *)
+(* Query lifecycle.                                                    *)
+
+let now () = Unix.gettimeofday ()
+
+let finalize t q result_json ~source =
+  q.q_state <- Done result_json;
+  q.q_source <- source;
+  Hashtbl.remove t.inflight q.q_key;
+  let line =
+    Printf.sprintf
+      "{\"id\": %d, \"state\": \"done\", \"source\": %S, \"elapsed_s\": \
+       %.3f, \"result\": %s}"
+      q.q_id source (now () -. q.q_created) result_json
+  in
+  List.iter
+    (fun fd ->
+      ignore (try_write fd (line ^ "\n"));
+      close_quiet fd)
+    q.q_waiters;
+  q.q_waiters <- []
+
+let fail t q msg =
+  q.q_state <- Failed msg;
+  Hashtbl.remove t.inflight q.q_key;
+  let line =
+    Printf.sprintf "{\"id\": %d, \"state\": \"failed\", \"error\": %S}" q.q_id
+      msg
+  in
+  List.iter
+    (fun fd ->
+      ignore (try_write fd (line ^ "\n"));
+      close_quiet fd)
+    q.q_waiters;
+  q.q_waiters <- []
+
+(* Re-serialize a parsed JSON value (worker results are re-emitted
+   into status payloads and the store path).  Integral numbers print
+   as ints — every counter in the protocol is one. *)
+let rec json_str = function
+  | Json.Null -> "null"
+  | Json.Bool b -> string_of_bool b
+  | Json.Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        string_of_int (int_of_float f)
+      else Printf.sprintf "%g" f
+  | Json.Str s -> Printf.sprintf "%S" s
+  | Json.Arr xs -> "[" ^ String.concat ", " (List.map json_str xs) ^ "]"
+  | Json.Obj kvs ->
+      "{"
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (json_str v)) kvs)
+      ^ "}"
+
+let new_lease t q mode index =
+  let lease =
+    {
+      l_id = t.next_lease;
+      l_query = q.q_id;
+      l_mode = mode;
+      l_index = index;
+      l_cancelled = false;
+    }
+  in
+  t.next_lease <- t.next_lease + 1;
+  Hashtbl.replace t.leases lease.l_id lease;
+  q.q_pending <- q.q_pending + 1;
+  lease
+
+(* Partition seeds into at most [slots] contiguous chunks, preserving
+   the first-visit order the lex-least-witness argument depends on. *)
+let chunk_seeds ~slots seeds =
+  let n = List.length seeds in
+  let slots = max 1 (min slots n) in
+  let per = (n + slots - 1) / slots in
+  let rec go acc i = function
+    | [] -> List.rev acc
+    | rest ->
+        let rec take k xs =
+          if k = 0 then ([], xs)
+          else
+            match xs with
+            | [] -> ([], [])
+            | x :: tl ->
+                let a, b = take (k - 1) tl in
+                (x :: a, b)
+        in
+        let chunk, rest = take per rest in
+        go ((i, chunk) :: acc) (i + 1) rest
+  in
+  go [] 0 seeds
+
+let rec start_slices t q ~base_depth ~(base : Store.frontier) ~base_steps
+    ~source =
+  q.q_base <- Some base;
+  q.q_base_depth <- base_depth;
+  q.q_base_steps <- base_steps;
+  q.q_source <- source;
+  match base.Store.f_seeds with
+  | [] ->
+      (* No cut leaves: the shallow tree was already complete, so its
+         totals are the full-depth answer. *)
+      let result =
+        match q.q_spec.Queries.sp_kind with
+        | `Explore ->
+            Printf.sprintf
+              "{\"outcome\": \"ok\", \"runs\": %d, \"digest\": %d, \
+               \"steps\": %d}"
+              base.Store.f_base_runs base.Store.f_base_digest q.q_steps
+        | `Live ->
+            Printf.sprintf
+              "{\"outcome\": \"no_fair_cycle\", \"runs\": %d, \"steps\": %d}"
+              base.Store.f_base_runs q.q_steps
+      in
+      store_final t q result;
+      finalize t q result ~source
+  | seeds ->
+      let chunks = chunk_seeds ~slots:(Array.length t.workers) seeds in
+      List.iter
+        (fun (i, chunk) ->
+          let lease = new_lease t q (Queries.Slice (base_depth, chunk)) i in
+          t.pending <- t.pending @ [ lease ])
+        chunks;
+      dispatch t
+
+(* Store the final verdict of a computed (non-warm) query, stitching
+   the slice frontiers onto the base so the record resumes later runs. *)
+and store_final t q result_json =
+  match (Queries.qid q.q_spec, Json.parse result_json) with
+  | Error _, _ | _, Error _ -> ()
+  | Ok _, Ok j -> begin
+      let sp = q.q_spec in
+      let outcome =
+        Option.value ~default:""
+          (Option.bind (Json.member "outcome" j) Json.str)
+      in
+      let int_of k =
+        Option.value ~default:0 (Option.bind (Json.member k j) Json.int)
+      in
+      let codes k =
+        List.filter_map Json.int
+          (Json.to_list (Option.value ~default:Json.Null (Json.member k j)))
+      in
+      let frontier =
+        (* A full-task result carries its own frontier; a sliced
+           result's is stitched in [combine].  Either way it arrives
+           under "frontier". *)
+        Option.bind (Json.member "frontier" j) Queries.frontier_of_json
+      in
+      let verdict =
+        match outcome with
+        | "ok" -> Some (Store.V_ok (int_of "runs"))
+        | "counterexample" -> Some (Store.V_counterexample (codes "witness"))
+        | "no_fair_cycle" -> Some Store.V_no_fair_cycle
+        | "lasso" ->
+            Some (Store.V_lasso { stem = codes "stem"; cycle = codes "cycle" })
+        | _ -> None
+      in
+      match verdict with
+      | None -> ()
+      | Some v ->
+          Store.add t.store
+            {
+              Store.r_qid = q.q_qid;
+              r_depth = sp.Queries.sp_depth;
+              r_max_period = sp.Queries.sp_max_period;
+              r_pump_ticks = sp.Queries.sp_pump;
+              r_runs = int_of "runs";
+              r_steps = q.q_base_steps + q.q_steps;
+              r_verdict = v;
+              r_frontier = frontier;
+            };
+          (match q.q_source with
+          | "resumed" -> Store.bump t.store (`Resume q.q_base_steps)
+          | _ -> Store.bump t.store `Cold);
+          Store.commit t.store
+    end
+
+let start_full t q ~source =
+  q.q_source <- source;
+  let lease = new_lease t q Queries.Full 0 in
+  t.pending <- t.pending @ [ lease ];
+  dispatch t
+
+(* Plan a freshly created query: warm, resume-and-slice, split-and-
+   slice, or a single full task. *)
+let plan t q =
+  let sp = q.q_spec in
+  Store.bump t.store `Query;
+  let warm =
+    match Store.find t.store ~qid:q.q_qid ~depth:sp.Queries.sp_depth with
+    | Some r -> begin
+        match Queries.warm_result sp r with
+        | Some result ->
+            Store.bump t.store (`Warm r.Store.r_steps);
+            Store.commit t.store;
+            finalize t q result ~source:"warm";
+            true
+        | None ->
+            Store.bump t.store `Rejected;
+            false
+      end
+    | None -> false
+  in
+  if not warm then begin
+    q.q_state <- Running;
+    let resumable =
+      match Store.best_resumable t.store ~qid:q.q_qid ~depth:sp.Queries.sp_depth with
+      | Some r
+        when sp.Queries.sp_kind = `Explore
+             || (r.Store.r_pump_ticks = sp.Queries.sp_pump
+                && r.Store.r_max_period
+                   >= min sp.Queries.sp_max_period (r.Store.r_depth / 2)) -> (
+          match r.Store.r_frontier with
+          | Some f -> Some (r.Store.r_depth, f, r.Store.r_steps)
+          | None -> None)
+      | _ -> None
+    in
+    match resumable with
+    | Some (base_depth, base, base_steps) ->
+        start_slices t q ~base_depth ~base ~base_steps ~source:"resumed"
+    | None ->
+        if sp.Queries.sp_depth >= 4 then begin
+          (* Split pass: cut a frontier two levels up, then shard. *)
+          q.q_source <- "split";
+          let lease =
+            new_lease t q (Queries.Split (sp.Queries.sp_depth - 2)) 0
+          in
+          t.pending <- t.pending @ [ lease ];
+          dispatch t
+        end
+        else start_full t q ~source:"full"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Combining slice results.                                            *)
+
+let combine t q =
+  let slices = List.sort compare q.q_slices in
+  let outcome_of j =
+    Option.value ~default:"" (Option.bind (Json.member "outcome" j) Json.str)
+  in
+  let failing =
+    List.find_opt
+      (fun (_, j) ->
+        match outcome_of j with
+        | "counterexample" | "lasso" -> true
+        | _ -> false)
+      slices
+  in
+  match failing with
+  | Some (_, j) -> begin
+      (* The lowest-indexed failing slice: its witness is the
+         lex-least failing run of the whole tree, because slices are
+         contiguous runs of the first-visit seed order. *)
+      let codes k =
+        List.filter_map Json.int
+          (Json.to_list (Option.value ~default:Json.Null (Json.member k j)))
+      in
+      let pp k =
+        let vals =
+          List.filter_map Json.str
+            (Json.to_list (Option.value ~default:Json.Null (Json.member k j)))
+        in
+        "[" ^ String.concat ", " (List.map (Printf.sprintf "%S") vals) ^ "]"
+      in
+      let result =
+        match outcome_of j with
+        | "counterexample" ->
+            Printf.sprintf
+              "{\"outcome\": \"counterexample\", \"witness\": %s, \
+               \"witness_pp\": %s, \"steps\": %d}"
+              ("["
+              ^ String.concat ", " (List.map string_of_int (codes "witness"))
+              ^ "]")
+              (pp "witness_pp") q.q_steps
+        | _ ->
+            Printf.sprintf
+              "{\"outcome\": \"lasso\", \"stem\": %s, \"cycle\": %s, \
+               \"stem_pp\": %s, \"cycle_pp\": %s, \"period\": %d, \
+               \"steps\": %d}"
+              ("["
+              ^ String.concat ", " (List.map string_of_int (codes "stem"))
+              ^ "]")
+              ("["
+              ^ String.concat ", " (List.map string_of_int (codes "cycle"))
+              ^ "]")
+              (pp "stem_pp") (pp "cycle_pp")
+              (Option.value ~default:0
+                 (Option.bind (Json.member "period" j) Json.int))
+              q.q_steps
+      in
+      store_final t q result;
+      finalize t q result ~source:q.q_source
+    end
+  | None -> begin
+      let base = Option.get q.q_base in
+      let int_of j k =
+        Option.value ~default:0 (Option.bind (Json.member k j) Json.int)
+      in
+      let runs =
+        List.fold_left
+          (fun acc (_, j) -> acc + int_of j "runs")
+          base.Store.f_base_runs slices
+      in
+      let digest =
+        List.fold_left
+          (fun acc (_, j) -> acc + int_of j "digest")
+          base.Store.f_base_digest slices
+      in
+      (* Stitch the deep frontier: slice bases sum onto the inherited
+         base; seeds concatenate in slice order = first-visit order. *)
+      let fronts =
+        List.map
+          (fun (_, j) ->
+            Option.bind (Json.member "frontier" j) Queries.frontier_of_json)
+          slices
+      in
+      let frontier =
+        if List.for_all Option.is_some fronts then begin
+          let fs = List.map Option.get fronts in
+          Some
+            {
+              Store.f_base_runs =
+                List.fold_left
+                  (fun acc f -> acc + f.Store.f_base_runs)
+                  base.Store.f_base_runs fs;
+              f_base_digest =
+                List.fold_left
+                  (fun acc f -> acc + f.Store.f_base_digest)
+                  base.Store.f_base_digest fs;
+              f_seeds = List.concat_map (fun f -> f.Store.f_seeds) fs;
+            }
+        end
+        else None
+      in
+      let result =
+        match q.q_spec.Queries.sp_kind with
+        | `Explore ->
+            Printf.sprintf
+              "{\"outcome\": \"ok\", \"runs\": %d, \"digest\": %d, \
+               \"steps\": %d%s}"
+              runs digest q.q_steps
+              (match frontier with
+              | Some f ->
+                  Printf.sprintf ", \"frontier\": %s"
+                    (Queries.frontier_to_json f)
+              | None -> "")
+        | `Live ->
+            Printf.sprintf
+              "{\"outcome\": \"no_fair_cycle\", \"runs\": %d, \"steps\": %d%s}"
+              runs q.q_steps
+              (match frontier with
+              | Some f ->
+                  Printf.sprintf ", \"frontier\": %s"
+                    (Queries.frontier_to_json f)
+              | None -> "")
+      in
+      store_final t q result;
+      finalize t q result ~source:q.q_source
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Worker lines.                                                       *)
+
+let rec handle_result t lease result_j =
+  match Hashtbl.find_opt t.queries lease.l_query with
+  | None -> ()
+  | Some q ->
+      q.q_steps <-
+        q.q_steps
+        + Option.value ~default:0
+            (Option.bind (Json.member "steps" result_j) Json.int);
+      if lease.l_cancelled || q.q_state <> Running then ()
+      else begin
+        q.q_pending <- q.q_pending - 1;
+        let outcome =
+          Option.value ~default:""
+            (Option.bind (Json.member "outcome" result_j) Json.str)
+        in
+        match outcome with
+        | "error" ->
+            fail t q
+              (Option.value ~default:"worker error"
+                 (Option.bind (Json.member "message" result_j) Json.str))
+        | "cancelled" ->
+            (* We did not cancel it: a stray signal.  Re-lease. *)
+            lease.l_cancelled <- true;
+            let fresh = new_lease t q lease.l_mode lease.l_index in
+            t.re_leases <- t.re_leases + 1;
+            t.pending <- fresh :: t.pending;
+            dispatch t
+        | _ -> begin
+            match lease.l_mode with
+            | Queries.Full -> begin
+                let raw = json_str result_j in
+                store_final t q raw;
+                finalize t q raw ~source:q.q_source
+              end
+            | Queries.Split base_depth -> begin
+                match outcome with
+                | "ok" | "no_fair_cycle" -> begin
+                    match
+                      Option.bind
+                        (Json.member "frontier" result_j)
+                        Queries.frontier_of_json
+                    with
+                    | Some base ->
+                        start_slices t q ~base_depth ~base
+                          ~base_steps:
+                            (Option.value ~default:0
+                               (Option.bind (Json.member "steps" result_j)
+                                  Json.int))
+                          ~source:"split"
+                    | None ->
+                        (* Persist was gated off in the engine (e.g. a
+                           wide n): fall back to one full task. *)
+                        start_full t q ~source:"full"
+                  end
+                | _ ->
+                    (* A shallow violation's witness need not be the
+                       full-depth lex-least one; recompute honestly. *)
+                    start_full t q ~source:"full"
+              end
+            | Queries.Slice _ ->
+                q.q_slices <- (lease.l_index, result_j) :: q.q_slices;
+                if q.q_pending = 0 then combine t q
+          end
+      end
+
+and handle_worker_line t w line =
+  match Json.parse line with
+  | Error _ -> ()
+  | Ok j -> (
+      match Option.bind (Json.member "lease" j) Json.int with
+      | Some lid -> begin
+          w.w_lease <- None;
+          (match Hashtbl.find_opt t.leases lid with
+          | Some lease -> (
+              Hashtbl.remove t.leases lid;
+              match Json.member "result" j with
+              | Some r -> handle_result t lease r
+              | None -> ())
+          | None -> ());
+          dispatch t
+        end
+      | None -> (
+          (* A heartbeat: attribute it to the worker's current task. *)
+          match w.w_lease with
+          | None -> ()
+          | Some lid -> (
+              match Hashtbl.find_opt t.leases lid with
+              | None -> ()
+              | Some lease -> (
+                  match Hashtbl.find_opt t.queries lease.l_query with
+                  | None -> ()
+                  | Some q ->
+                      q.q_last_hb <- Some line;
+                      let fwd =
+                        Printf.sprintf
+                          "{\"id\": %d, \"state\": \"running\", \
+                           \"heartbeat\": %s}\n"
+                          q.q_id line
+                      in
+                      q.q_waiters <-
+                        List.filter
+                          (fun fd -> try_write fd fwd)
+                          q.q_waiters))))
+
+let handle_worker_eof t w =
+  (* The worker died (crash or kill): re-queue its lease at the front
+     and put a fresh process in its slot. *)
+  (match w.w_lease with
+  | Some lid -> begin
+      match Hashtbl.find_opt t.leases lid with
+      | Some lease when not lease.l_cancelled -> begin
+          match Hashtbl.find_opt t.queries lease.l_query with
+          | Some q when q.q_state = Running ->
+              Hashtbl.remove t.leases lid;
+              let fresh = new_lease t q lease.l_mode lease.l_index in
+              q.q_pending <- q.q_pending - 1;
+              t.re_leases <- t.re_leases + 1;
+              t.pending <- fresh :: t.pending
+          | _ -> Hashtbl.remove t.leases lid
+        end
+      | Some _ -> Hashtbl.remove t.leases lid
+      | None -> ()
+    end
+  | None -> ());
+  respawn_worker w;
+  dispatch t
+
+(* ------------------------------------------------------------------ *)
+(* Timeouts.                                                           *)
+
+let cancel_query_workers t q =
+  Array.iter
+    (fun w ->
+      match w.w_lease with
+      | Some lid -> begin
+          match Hashtbl.find_opt t.leases lid with
+          | Some lease when lease.l_query = q.q_id ->
+              lease.l_cancelled <- true;
+              (try Unix.kill w.w_pid Sys.sigusr1
+               with Unix.Unix_error _ -> ())
+          | _ -> ()
+        end
+      | None -> ())
+    t.workers;
+  t.pending <-
+    List.filter (fun lease -> lease.l_query <> q.q_id) t.pending
+
+let check_deadlines t =
+  let now = now () in
+  Hashtbl.iter
+    (fun _ q ->
+      match (q.q_state, q.q_deadline) with
+      | (Queued | Running), Some dl when now > dl ->
+          t.timeouts <- t.timeouts + 1;
+          cancel_query_workers t q;
+          q.q_state <- Timeout;
+          Hashtbl.remove t.inflight q.q_key;
+          let line =
+            Printf.sprintf "{\"id\": %d, \"state\": \"timeout\"}\n" q.q_id
+          in
+          List.iter
+            (fun fd ->
+              ignore (try_write fd line);
+              close_quiet fd)
+            q.q_waiters;
+          q.q_waiters <- []
+      | _ -> ())
+    t.queries
+
+(* ------------------------------------------------------------------ *)
+(* HTTP.                                                               *)
+
+let status_json q =
+  let state, extra =
+    match q.q_state with
+    | Queued -> ("queued", "")
+    | Running -> ("running", "")
+    | Done r -> ("done", Printf.sprintf ", \"result\": %s" r)
+    | Failed e -> ("failed", Printf.sprintf ", \"error\": %S" e)
+    | Timeout -> ("timeout", "")
+  in
+  let hb =
+    match q.q_last_hb with
+    | Some h when q.q_state = Running ->
+        Printf.sprintf ", \"heartbeat\": %s" h
+    | _ -> ""
+  in
+  Printf.sprintf
+    "{\"id\": %d, \"state\": %S, \"source\": %S, \"spec\": %s, \
+     \"elapsed_s\": %.3f%s%s}"
+    q.q_id state q.q_source
+    (Queries.spec_to_json q.q_spec)
+    (now () -. q.q_created) extra hb
+
+let stats_json t =
+  let c = Store.counters t.store in
+  let h = Store.health t.store in
+  let active =
+    Hashtbl.fold
+      (fun _ q acc -> match q.q_state with Queued | Running -> acc + 1 | _ -> acc)
+      t.queries 0
+  in
+  let busy =
+    Array.fold_left
+      (fun acc w -> if w.w_lease <> None then acc + 1 else acc)
+      0 t.workers
+  in
+  Printf.sprintf
+    "{\"queries\": %d, \"active\": %d, \"dedup_hits\": %d, \"re_leases\": \
+     %d, \"timeouts\": %d, \"workers\": %d, \"workers_busy\": %d, \
+     \"store\": {\"path\": %S, \"records\": %d, \"queries\": %d, \
+     \"warm_hits\": %d, \"resumes\": %d, \"colds\": %d, \"rejected\": %d, \
+     \"steps_saved\": %d, \"created\": %b, \"invalidated\": %s, \
+     \"records_dropped\": %d}}"
+    (t.next_query - 1) active t.dedup_hits t.re_leases t.timeouts
+    (Array.length t.workers) busy (Store.path t.store)
+    (List.length (Store.records t.store))
+    c.Store.c_queries c.Store.c_warm_hits c.Store.c_resumes c.Store.c_colds
+    c.Store.c_rejected c.Store.c_steps_saved h.Store.h_created
+    (match h.Store.h_invalidated with
+    | None -> "null"
+    | Some r -> Printf.sprintf "%S" r)
+    h.Store.h_records_dropped
+
+let handle_query_post t fd body =
+  match Json.parse body with
+  | Error e -> respond ~status:"400 Bad Request" fd (Queries.error_result e)
+  | Ok j -> begin
+      match Queries.spec_of_json j with
+      | Error e -> respond ~status:"400 Bad Request" fd (Queries.error_result e)
+      | Ok spec -> begin
+          match Queries.qid spec with
+          | Error e ->
+              respond ~status:"400 Bad Request" fd (Queries.error_result e)
+          | Ok qid -> begin
+              let wait =
+                match Json.member "wait" j with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              let timeout =
+                Option.bind (Json.member "timeout" j) Json.num
+              in
+              let key = Queries.key spec in
+              let attach q deduped =
+                if wait then begin
+                  if stream_header fd then begin
+                    match q.q_state with
+                    | Done _ | Failed _ | Timeout ->
+                        ignore (try_write fd (status_json q ^ "\n"));
+                        close_quiet fd
+                    | _ -> q.q_waiters <- fd :: q.q_waiters
+                  end
+                  else close_quiet fd
+                end
+                else
+                  respond ~status:"202 Accepted" fd
+                    (Printf.sprintf "{\"id\": %d, \"deduped\": %b}" q.q_id
+                       deduped)
+              in
+              match Hashtbl.find_opt t.inflight key with
+              | Some qi ->
+                  t.dedup_hits <- t.dedup_hits + 1;
+                  attach (Hashtbl.find t.queries qi) true
+              | None ->
+                  let q =
+                    {
+                      q_id = t.next_query;
+                      q_spec = spec;
+                      q_key = key;
+                      q_qid = qid;
+                      q_created = now ();
+                      q_state = Queued;
+                      q_pending = 0;
+                      q_slices = [];
+                      q_base = None;
+                      q_base_depth = 0;
+                      q_base_steps = 0;
+                      q_source = "";
+                      q_deadline = Option.map (fun s -> now () +. s) timeout;
+                      q_waiters = [];
+                      q_last_hb = None;
+                      q_steps = 0;
+                    }
+                  in
+                  t.next_query <- t.next_query + 1;
+                  Hashtbl.replace t.queries q.q_id q;
+                  Hashtbl.replace t.inflight key q.q_id;
+                  plan t q;
+                  attach q false
+            end
+        end
+    end
+
+let handle_request t fd ~meth ~path ~body =
+  match (meth, path) with
+  | "POST", "/query" -> handle_query_post t fd body
+  | "GET", p when String.length p > 8 && String.sub p 0 8 = "/status/" -> begin
+      match int_of_string_opt (String.sub p 8 (String.length p - 8)) with
+      | Some id -> begin
+          match Hashtbl.find_opt t.queries id with
+          | Some q -> respond fd (status_json q)
+          | None ->
+              respond ~status:"404 Not Found" fd
+                (Printf.sprintf "{\"error\": \"no query %d\"}" id)
+        end
+      | None -> respond ~status:"400 Bad Request" fd "{\"error\": \"bad id\"}"
+    end
+  | "GET", "/stats" -> respond fd (stats_json t)
+  | "POST", "/shutdown" ->
+      respond fd "{\"ok\": true}";
+      t.running <- false
+  | _ ->
+      respond ~status:"404 Not Found" fd
+        (Printf.sprintf "{\"error\": \"no route %s %s\"}" meth path)
+
+(* Try to cut one complete HTTP request out of a client's buffer. *)
+let try_parse_request acc =
+  let data = Buffer.contents acc in
+  match String.index_opt data '\r' with
+  | None -> None
+  | Some _ -> (
+      let hdr_end =
+        let rec find i =
+          if i + 3 >= String.length data then None
+          else if String.sub data i 4 = "\r\n\r\n" then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      match hdr_end with
+      | None -> None
+      | Some he -> (
+          let head = String.sub data 0 he in
+          let lines = String.split_on_char '\n' head in
+          let lines = List.map (fun l -> String.trim l) lines in
+          match lines with
+          | [] -> None
+          | req :: headers -> (
+              let content_length =
+                List.fold_left
+                  (fun acc h ->
+                    match String.index_opt h ':' with
+                    | Some i
+                      when String.lowercase_ascii (String.sub h 0 i)
+                           = "content-length" ->
+                        int_of_string_opt
+                          (String.trim
+                             (String.sub h (i + 1) (String.length h - i - 1)))
+                        |> Option.value ~default:acc
+                    | _ -> acc)
+                  0 headers
+              in
+              let body_start = he + 4 in
+              if String.length data >= body_start + content_length then begin
+                let body = String.sub data body_start content_length in
+                match String.split_on_char ' ' req with
+                | meth :: path :: _ -> Some (meth, path, body)
+                | _ -> Some ("BAD", "/", "")
+              end
+              else None)))
+
+(* ------------------------------------------------------------------ *)
+(* Main loop.                                                          *)
+
+let main ?(host = "127.0.0.1") ~port ~workers ~store () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let store = Store.open_ store in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen listen_fd 64;
+  let nworkers = max 1 workers in
+  let t =
+    {
+      store;
+      listen_fd;
+      workers = Array.init nworkers spawn_worker;
+      leases = Hashtbl.create 32;
+      queries = Hashtbl.create 32;
+      inflight = Hashtbl.create 32;
+      pending = [];
+      clients = [];
+      next_query = 1;
+      next_lease = 1;
+      dedup_hits = 0;
+      re_leases = 0;
+      timeouts = 0;
+      running = true;
+    }
+  in
+  let stop = ref false in
+  let on_term _ = stop := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_term);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_term);
+  Printf.printf "{\"serving\": \"%s:%d\", \"workers\": %d, \"store\": %S}\n%!"
+    host port nworkers (Store.path t.store);
+  while t.running && not !stop do
+    let worker_fds = Array.to_list (Array.map (fun w -> w.w_out) t.workers) in
+    let client_fds = List.map (fun c -> c.c_fd) t.clients in
+    let fds = (t.listen_fd :: worker_fds) @ client_fds in
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.listen_fd then begin
+              match Unix.accept t.listen_fd with
+              | cfd, _ ->
+                  t.clients <-
+                    { c_fd = cfd; c_acc = Buffer.create 256 } :: t.clients
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match
+                Array.to_list t.workers
+                |> List.find_opt (fun w -> w.w_out = fd)
+              with
+              | Some w -> begin
+                  let buf = Bytes.create 65536 in
+                  match Unix.read w.w_out buf 0 65536 with
+                  | 0 -> handle_worker_eof t w
+                  | n ->
+                      Buffer.add_subbytes w.w_acc buf 0 n;
+                      let data = Buffer.contents w.w_acc in
+                      let parts = String.split_on_char '\n' data in
+                      let rec go = function
+                        | [] -> ()
+                        | [ last ] ->
+                            Buffer.clear w.w_acc;
+                            Buffer.add_string w.w_acc last
+                        | line :: rest ->
+                            if String.trim line <> "" then
+                              handle_worker_line t w line;
+                            go rest
+                      in
+                      go parts
+                  | exception Unix.Unix_error _ -> handle_worker_eof t w
+                end
+              | None -> (
+                  match List.find_opt (fun c -> c.c_fd = fd) t.clients with
+                  | None -> ()
+                  | Some c -> (
+                      let buf = Bytes.create 65536 in
+                      let drop () =
+                        t.clients <-
+                          List.filter (fun c' -> c'.c_fd <> c.c_fd) t.clients
+                      in
+                      match Unix.read c.c_fd buf 0 65536 with
+                      | 0 ->
+                          drop ();
+                          close_quiet c.c_fd
+                      | n -> begin
+                          Buffer.add_subbytes c.c_acc buf 0 n;
+                          match try_parse_request c.c_acc with
+                          | Some (meth, path, body) ->
+                              (* The fd's fate now belongs to the
+                                 handler (respond closes it; a waiter
+                                 keeps it). *)
+                              drop ();
+                              handle_request t c.c_fd ~meth ~path ~body
+                          | None -> ()
+                        end
+                      | exception Unix.Unix_error _ ->
+                          drop ();
+                          close_quiet c.c_fd)))
+          ready;
+        check_deadlines t
+  done;
+  (* Drain: EOF every worker's stdin, reap, flush the store. *)
+  Array.iter (fun w -> close_quiet w.w_in) t.workers;
+  Array.iter
+    (fun w ->
+      try ignore (Unix.waitpid [] w.w_pid) with Unix.Unix_error _ -> ())
+    t.workers;
+  Store.commit t.store;
+  close_quiet t.listen_fd;
+  0

@@ -1,0 +1,47 @@
+(** [slx serve]: a resumable, multi-process verification service.
+
+    One coordinator process owns an HTTP/1.1 endpoint (plain [Unix]
+    sockets, JSON bodies — no dependencies beyond the stdlib), the
+    persistent verdict store ({!Slx_store.Store}, single writer), and
+    a pool of worker processes ({!Worker}, the [slx] binary
+    re-executed) it leases work to.
+
+    {b Endpoints.}
+    - [POST /query] — body {!Queries.spec_of_json} plus optional
+      ["timeout"] (seconds) and ["wait"] (bool).  Without [wait]:
+      [202] with [{"id", "deduped"}].  With [wait]: a close-delimited
+      [application/x-ndjson] stream of progress heartbeats ending in
+      the result object.
+    - [GET /status/ID] — query state ([queued]/[running]/[done]/
+      [failed]/[timeout]), the latest heartbeat, and the result when
+      done.
+    - [GET /stats] — service counters (dedup hits, re-leases,
+      timeouts, worker states) and the store's counters/health.
+    - [POST /shutdown] — drain and exit.
+
+    {b Answer planning} mirrors {!Slx_store.Persist}: warm store hits
+    answer immediately (witnesses re-validated); otherwise the query
+    is sharded — a stored frontier's seeds, or the frontier cut by a
+    shallow {e split pass} at [depth - 2], are partitioned into
+    contiguous slices leased across workers, whose totals the
+    coordinator stitches back (base added exactly once; on a failing
+    verdict all slices complete and the lowest-indexed failure is the
+    witness, preserving the engines' lex-least guarantee; a failing
+    split pass falls back to one full-depth task so served verdicts
+    are byte-identical to cold runs).  Identical in-flight queries
+    dedupe onto one computation.  A worker that dies mid-task gets
+    its lease re-queued ([re_leases] in [/stats]) and its process
+    respawned; a query past its timeout has its workers cancelled
+    ([SIGUSR1]) and reports [timeout]. *)
+
+val main :
+  ?host:string ->
+  port:int ->
+  workers:int ->
+  store:string ->
+  unit ->
+  int
+(** Serve until [POST /shutdown] (or SIGINT/SIGTERM).  [host] defaults
+    to ["127.0.0.1"]; [workers] is clamped to at least 1.  Returns the
+    process exit code; the store is committed on every completed query
+    and again on shutdown. *)

@@ -1,0 +1,59 @@
+module Json = Slx_obs.Json
+module Progress = Slx_obs.Progress
+
+let cancelled = ref false
+
+let reply line =
+  print_string line;
+  print_newline ();
+  flush stdout
+
+let handle_line line =
+  match Json.parse line with
+  | Error e ->
+      reply
+        (Printf.sprintf "{\"lease\": -1, \"result\": %s}"
+           (Queries.error_result ("bad task line: " ^ e)))
+  | Ok j -> begin
+      let lease =
+        Option.value ~default:(-1) (Option.bind (Json.member "lease" j) Json.int)
+      in
+      let result =
+        match
+          ( Option.map Queries.spec_of_json (Json.member "spec" j),
+            Option.map Queries.mode_of_json (Json.member "task" j) )
+        with
+        | Some (Ok spec), Some (Ok mode) ->
+            (* Heartbeats ride the result pipe; the coordinator keys
+               them to this lease because a worker runs one task at a
+               time. *)
+            let progress =
+              Progress.create ~interval:0.2 ~json:true ~out:stdout ()
+            in
+            Queries.run_task ~cancel:(fun () -> !cancelled) ~progress spec mode
+        | Some (Error e), _ | _, Some (Error e) -> Queries.error_result e
+        | None, _ -> Queries.error_result "task without spec"
+        | _, None -> Queries.error_result "task without mode"
+      in
+      reply (Printf.sprintf "{\"lease\": %d, \"result\": %s}" lease result);
+      (* Consume the cancel flag only after the reply: a SIGUSR1 can
+         land while the task line is still being read or parsed (slice
+         tasks run to tens of megabytes of JSON), and a reset at task
+         start would erase it.  The dual race — a stale signal
+         cancelling the next task instantly — is self-healing: the
+         coordinator re-leases a task answered "cancelled" when it
+         never cancelled its lease. *)
+      cancelled := false
+    end
+
+let main () =
+  Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> cancelled := true));
+  (* The coordinator owns the terminal's SIGINT story; a worker only
+     stops on stdin EOF or an explicit kill. *)
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  (try
+     while true do
+       handle_line (input_line stdin)
+     done
+   with End_of_file -> ());
+  0

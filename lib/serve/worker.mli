@@ -1,0 +1,23 @@
+(** The verification worker: the child-process half of {!Serve}.
+
+    A worker is [slx]'s own binary re-executed with the hidden
+    [worker] subcommand, wired to the coordinator by two pipes.  The
+    protocol is JSON-lines on stdin/stdout:
+
+    - stdin, one line per task:
+      [{"lease": N, "spec": {...}, "task": {"mode": ...}}]
+      ({!Queries.spec_of_json} / {!Queries.mode_of_json});
+    - stdout, zero or more progress heartbeats (the engines'
+      JSON-lines reporter, no ["lease"] member) followed by exactly
+      one result line [{"lease": N, "result": {...}}]
+      ({!Queries.run_task}).
+
+    Workers never open the store — verdict-relevant state travels
+    inline in the task (frontier seeds) and the result (frontier,
+    witness codes), so the coordinator stays the store's only
+    writer.  [SIGUSR1] requests graceful cancellation: the engines
+    poll a flag per node and the task answers
+    [{"outcome": "cancelled"}].  EOF on stdin is shutdown. *)
+
+val main : unit -> int
+(** Run the task loop until stdin closes.  Exit code 0. *)

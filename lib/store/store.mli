@@ -1,0 +1,136 @@
+(** The on-disk verdict/fingerprint store: a CRC-framed, append-only
+    record log with atomic-rename commits.
+
+    One file holds every verdict a machine has computed: for each
+    {e query} (an implementation + workload + property + flags,
+    digested into a [qid] by {!Persist.query_key}) and depth, the
+    outcome, the witness or lasso scripts in coded form
+    ({!Slx_core.Explore.code_of_decision}), and — for
+    counterexample-free bounded runs — the {e cut frontier} a deeper
+    run can resume from.
+
+    {b Format.}  The file starts with the magic ["SLXSTOR1"], followed
+    by frames [[u32 length][u32 crc32][payload]].  The first frame is
+    the {e header} binding the format version and the engine version;
+    any mismatch — or a bad magic — invalidates the whole file (it is
+    read as empty and overwritten on the next commit), so a stale
+    cache can never forge a verdict across an engine change.  A frame
+    whose CRC does not match its payload is dropped (and counted in
+    {!health}) without giving up on later frames; a truncated tail
+    frame drops the remainder.  Within the log, a later record for the
+    same [(qid, depth)] supersedes an earlier one.
+
+    {b Concurrency.}  Readers see a consistent file because commits
+    are whole-file rewrites published by [rename(2)]; a store is
+    single-writer by convention (the CLI holds it for a run; the serve
+    daemon's coordinator is the only writer, its workers never open
+    the store).  No in-file locking. *)
+
+type verdict =
+  | V_ok of int  (** Safety: every maximal run passed; the run count. *)
+  | V_counterexample of int list
+      (** Safety: the lex-least failing run's coded decision script.
+          Never trusted blindly: {!Persist} replays it and re-runs the
+          check before serving it as a hit. *)
+  | V_no_fair_cycle
+  | V_lasso of { stem : int list; cycle : int list }
+      (** Liveness: the certificate's coded stem and cycle scripts.
+          Re-validated (rebuilt, pumped) before being served. *)
+
+type seed = { sd_script : int list; sd_sleep : int list }
+(** A stored frontier seed: the coded cut-leaf script plus the
+    engine-specific sleep payload (safety: one bitset word; liveness:
+    packed [(streak lsl 8) lor proc] entries). *)
+
+type frontier = {
+  f_base_runs : int;
+  f_base_digest : int;
+  f_seeds : seed list;
+}
+
+type record = {
+  r_qid : int;  (** {!Persist.query_key} digest — binds impl, workload,
+                    property, flags and registry digest. *)
+  r_depth : int;
+  r_max_period : int;  (** Liveness only; 0 for safety records. *)
+  r_pump_ticks : int;  (** Liveness only; 0 for safety records. *)
+  r_runs : int;  (** [stats.runs] of the producing run. *)
+  r_steps : int;  (** [stats.steps_executed] of the producing run — the
+                      work a warm hit saves, reported by [slx stats]. *)
+  r_verdict : verdict;
+  r_frontier : frontier option;
+}
+
+type counters = {
+  c_queries : int;  (** Store-backed queries answered. *)
+  c_warm_hits : int;  (** Served from an exact [(qid, depth)] record. *)
+  c_resumes : int;  (** Served by deepening a stored frontier. *)
+  c_colds : int;  (** Explored from scratch. *)
+  c_rejected : int;
+      (** Stored witnesses that failed re-validation (fell back to a
+          cold run and were overwritten). *)
+  c_steps_saved : int;
+      (** Runtime steps of the stored runs that warm hits and resumes
+          did not re-execute (resumes: stored steps minus the delta
+          actually run). *)
+}
+
+type health = {
+  h_created : bool;  (** No file existed (or it was empty). *)
+  h_invalidated : string option;
+      (** The file was discarded wholesale: bad magic, bad header, or
+          an engine/format version mismatch — the reason, verbatim. *)
+  h_records_dropped : int;
+      (** Frames dropped for CRC mismatch or a truncated tail. *)
+}
+
+val format_version : int
+
+val engine_version : string
+(** Identifies the verdict-relevant engine semantics (bumped on any
+    change to menus, reductions, fingerprints or frontier encoding)
+    plus the OCaml version (polymorphic-hash digests are not
+    guaranteed stable across compiler versions). *)
+
+val digest_string : string -> int
+(** 64-bit FNV-1a, masked non-negative — the [qid] digest helper. *)
+
+type t
+
+val open_ : ?engine_version:string -> string -> t
+(** Read (or initialize) the store at a path.  Never raises on bad
+    content: corruption and mismatches degrade to an empty (or
+    partial) store, reported in {!health}.  [engine_version] defaults
+    to {!engine_version}; tests override it to forge mismatches.
+    @raise Sys_error only on unreadable paths (permissions). *)
+
+val path : t -> string
+
+val health : t -> health
+
+val records : t -> record list
+(** All live records, oldest first (superseded duplicates removed). *)
+
+val find : t -> qid:int -> depth:int -> record option
+(** The exact record for this query at this depth, if any. *)
+
+val best_resumable : t -> qid:int -> depth:int -> record option
+(** The deepest stored record for [qid] that is strictly shallower
+    than [depth], carries a frontier, and whose verdict is resumable
+    ([V_ok] / [V_no_fair_cycle] — failing verdicts never resume:
+    a shallow counterexample's extensions are unexplored). *)
+
+val add : t -> record -> unit
+(** Insert (in memory), superseding any record with the same
+    [(qid, depth)].  Visible on disk after {!commit}. *)
+
+val bump :
+  t -> [ `Query | `Warm of int | `Resume of int | `Cold | `Rejected ] -> unit
+(** Count a store interaction into {!counters}; the [`Warm]/[`Resume]
+    payloads are runtime steps saved. *)
+
+val counters : t -> counters
+
+val commit : t -> unit
+(** Publish the in-memory state: serialize the whole log to
+    [path ^ ".tmp.<pid>"] and atomically rename it over [path]. *)
