@@ -267,6 +267,13 @@ let fixture_cases () =
     fixture_case ~name:"fixture-nested-ok" ~waive_opaque:true
       Fixtures.nested_ok_factory;
     fixture_case ~name:"fixture-clean" Fixtures.clean_factory;
+    (* The depth-gated leak: its undeclared write fires on the eighth
+       poke, far past these bounds, so the dynamic sanitizer reports
+       clean while the static lint flags the site (EXPERIMENTS E26). *)
+    Audit.case ~group:"fixture" ~name:"fixture-deep-leak" ~n:2 ~depth:6
+      ~factory:(fun () -> Fixtures.deep_leaky_factory)
+      ~invoke:(counting (Fixtures.workload ~ops:12))
+      ~pp_inv:Fixtures.pp_inv ();
   ]
 
 let all () =

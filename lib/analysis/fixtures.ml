@@ -110,6 +110,23 @@ let clean_factory ~n:_ =
     | Peek ->
         Got (Runtime.atomic_access ~obj:(snd b) ~write:false (fun () -> load b))
 
+(* Depth-gated twin of [leaky_factory]: the undeclared write of [b]
+   only happens on the eighth poke, so bounded exploration at the
+   audit's default depths never reaches it and the sanitizer reports
+   clean — while the static footprint lint flags the site on every
+   run.  The demonstration pair for doc/model.md section 12. *)
+let deep_leaky_factory ~n:_ =
+  let a = cell 0 and b = cell 0 in
+  fun ~proc:_ -> function
+    | Poke v ->
+        Runtime.atomic_access ~obj:(snd a) ~write:true (fun () ->
+            let k = load a in
+            store a (k + 1);
+            if k >= 7 then store b (v + k));
+        Ack
+    | Peek ->
+        Got (Runtime.atomic_access ~obj:(snd b) ~write:false (fun () -> load b))
+
 (* The standard fixture workload: process 1 pokes, everyone else
    peeks, [ops] invocations each. *)
 let workload ~ops : (inv, res) Slx_sim.Driver.workload =

@@ -52,5 +52,12 @@ val clean_factory : (inv, res) Runner.factory
 (** The correctly-declared twin of {!leaky_factory} — passes every
     audit layer. *)
 
+val deep_leaky_factory : (inv, res) Runner.factory
+(** [leaky_factory] with the undeclared write gated behind the eighth
+    [Poke]: bounded exploration at the audit's default depths never
+    reaches it (the sanitizer reports clean), the static footprint
+    lint flags it on every run.  The doc/model.md section 12 and
+    EXPERIMENTS.md E26 demonstration pair. *)
+
 val workload : ops:int -> (inv, res) Driver.workload
 (** Process 1 pokes, everyone else peeks, [ops] invocations each. *)

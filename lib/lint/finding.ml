@@ -1,0 +1,121 @@
+type severity = Info | Warn | Error
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  snippet : string;
+  message : string;
+}
+
+let v ~rule ~severity ~file ?(line = 0) ?(col = 0) ?(snippet = "") message =
+  { rule; severity; file; line; col; snippet; message }
+
+let gating f = match f.severity with Info -> false | Warn | Error -> true
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> begin
+      match Int.compare a.line b.line with
+      | 0 -> begin
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c
+        end
+      | c -> c
+    end
+  | c -> c
+
+let severity_label = function
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col
+    (severity_label f.severity)
+    f.rule f.message;
+  if f.snippet <> "" then Format.fprintf ppf "@,    | %s" (String.trim f.snippet)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"rule\": %S, \"severity\": %S, \"file\": %S, \"line\": %d, \"col\": \
+     %d, \"message\": \"%s\", \"snippet\": \"%s\"}"
+    f.rule
+    (severity_label f.severity)
+    f.file f.line f.col (json_escape f.message)
+    (json_escape (String.trim f.snippet))
+
+(* The catalog is the single source of rule ids; [Rules] and [Lint]
+   construct findings through it so a typo'd id cannot ship. *)
+let rules =
+  [
+    ( "escape-global-mutable",
+      Error,
+      "module-level mutable state (ref/array/Hashtbl/...) captured by a \
+       function: shared across every instance and run, invisible to \
+       fingerprints and replay" );
+    ( "escape-unregistered-state",
+      Error,
+      "mutable state captured by a runtime-interacting closure without a \
+       Runtime.register_object in scope: the shadow detector and the \
+       fingerprint registry never see it" );
+    ( "escape-naked-mutation",
+      Warn,
+      "mutation of non-local state in runtime-interacting code outside any \
+       atomic/atomic_access callback: the access is invisible to declared \
+       footprints" );
+    ( "det-banned-call",
+      Error,
+      "call that can differ across replays (Random globals, Hashtbl.hash, \
+       wall clocks, Gc introspection, Domain spawns): fingerprints, \
+       lex-least witnesses and store re-validation assume determinism" );
+    ( "det-physical-equality",
+      Error,
+      "physical equality (==/!=) in model code: depends on sharing, which \
+       replay does not preserve" );
+    ( "fp-undeclared-handle",
+      Error,
+      "an object handle is touched (or re-declared by a nested atomic \
+       action) under a declaration that never mentions it: the static twin \
+       of the sanitizer's Undeclared_touch/Undeclared_nesting" );
+    ( "fp-write-under-read",
+      Error,
+      "a write-touch under a declaration that announced only a read: POR \
+       would commute steps that do not commute" );
+    ( "fp-unused-declaration",
+      Warn,
+      "a declared handle is never touched in a closed step body: harmless \
+       for soundness, destroys reduction (the static twin of the audit's \
+       Never_touched lint)" );
+    ( "parse-error",
+      Error,
+      "the source file does not parse; nothing behind the error is checked" );
+    ( "waiver-expired",
+      Error,
+      "a waiver entry is past its expiry date: re-justify or fix" );
+    ( "waiver-unused",
+      Warn,
+      "a waiver entry matched no finding: stale, delete it" );
+    ( "waiver-malformed",
+      Error,
+      "a waiver line does not parse: fix the entry" );
+  ]

@@ -1,0 +1,798 @@
+open Parsetree
+module SSet = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Small AST utilities.                                                *)
+
+let rec unwrap e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_newtype (_, e) ->
+      unwrap e
+  | _ -> e
+
+let path_of e =
+  match (unwrap e).pexp_desc with
+  | Pexp_ident { txt; _ } -> ( try Some (Longident.flatten txt) with _ -> None)
+  | _ -> None
+
+(* [...Runtime.name] with any (or no) prefix before [Runtime]. *)
+let is_runtime name path =
+  match List.rev path with
+  | n :: "Runtime" :: _ -> String.equal n name
+  | _ -> false
+
+let iter_exprs f e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e
+
+let exists_expr pred e =
+  let found = ref false in
+  iter_exprs (fun e -> if pred e then found := true) e;
+  !found
+
+let mentions name e =
+  exists_expr
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident x; _ } -> String.equal x name
+      | _ -> false)
+    e
+
+let sub_lambdas e =
+  let acc = ref [] in
+  iter_exprs
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_fun _ | Pexp_function _ -> acc := e :: !acc
+      | _ -> ())
+    e;
+  !acc
+
+let pat_vars p =
+  let acc = ref SSet.empty in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> acc := SSet.add txt !acc
+          | Ppat_alias (_, { txt; _ }) -> acc := SSet.add txt !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it p;
+  !acc
+
+let rec fun_params e =
+  match (unwrap e).pexp_desc with
+  | Pexp_fun (lbl, _, pat, body) ->
+      let ps, b = fun_params body in
+      ((lbl, pat) :: ps, b)
+  | _ -> ([], e)
+
+let bool_lit e =
+  match (unwrap e).pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "true"; _ }, None) -> Some true
+  | Pexp_construct ({ txt = Longident.Lident "false"; _ }, None) -> Some false
+  | _ -> None
+
+(* The handle roots of an expression: the free lowercase identifiers
+   it is built from, skipping identifiers in function position (so
+   [snd a] and [r.obj] both root at the handle, not the accessor). *)
+let roots e =
+  let acc = ref SSet.empty in
+  let rec go e =
+    let e = unwrap e in
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident x; _ } -> acc := SSet.add x !acc
+    | Pexp_ident _ -> ()
+    | Pexp_field (b, _) -> go b
+    | Pexp_apply (f, args) ->
+        (match (unwrap f).pexp_desc with Pexp_ident _ -> () | _ -> go f);
+        List.iter (fun (_, a) -> go a) args
+    | Pexp_tuple es -> List.iter go es
+    | Pexp_construct (_, Some a) | Pexp_variant (_, Some a) -> go a
+    | Pexp_constant _ | Pexp_construct (_, None) | Pexp_variant (_, None) -> ()
+    | _ -> iter_exprs
+             (fun e ->
+               match e.pexp_desc with
+               | Pexp_ident { txt = Longident.Lident x; _ } ->
+                   acc := SSet.add x !acc
+               | _ -> ())
+             e
+  in
+  go e;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Classification tables.                                              *)
+
+let creation_name = function
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref"
+  | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") ]
+  | [ "Bytes"; ("create" | "make") ]
+  | [ "Hashtbl"; "create" ]
+  | [ "Atomic"; "make" ]
+  | [ "Buffer"; "create" ]
+  | [ "Queue"; "create" ]
+  | [ "Stack"; "create" ]
+  | [ "Weak"; "create" ] as p ->
+      Some (String.concat "." p)
+  | _ -> None
+
+let mutation_name = function
+  | [ ":=" ] | [ "incr" ] | [ "decr" ] -> true
+  | [ "Array"; ("set" | "fill" | "blit") ]
+  | [ "Bytes"; ("set" | "fill" | "blit") ]
+  | [ "Hashtbl"; ("add" | "replace" | "remove" | "reset" | "clear") ]
+  | [ "Atomic"; ("set" | "exchange" | "compare_and_set" | "fetch_and_add"
+               | "incr" | "decr") ] ->
+      true
+  | _ -> false
+
+(* The determinism banlist.  [Random.State] (explicit, seeded state
+   threaded by the caller) is deliberately allowed: it is replay-
+   deterministic.  The global [Random] functions mutate the hidden
+   default state and are not. *)
+let det_banned = function
+  | "Random" :: rest when (match rest with "State" :: _ -> false | _ -> true)
+    -> true
+  | [ "Hashtbl"; ("hash" | "hash_param" | "seeded_hash" | "randomize") ]
+  | [ "Sys"; ("time" | "cpu_time" | "opaque_identity") ]
+  | [ "Unix"; ("gettimeofday" | "time" | "times") ]
+  | [ "Domain"; ("spawn" | "self" | "join" | "cpu_relax") ]
+  | [ "Oo"; "id" ] ->
+      true
+  | "Gc" :: _ :: _ -> true
+  | _ -> false
+
+let is_register_path path =
+  match List.rev path with
+  | ("register_object" | "fingerprinted") :: _ -> true
+  | _ -> false
+
+(* Applications that keep a step body "closed" for the unused-
+   declaration check: operators plus a few pure standbys. *)
+let pure_fn = function
+  | [ x ] ->
+      (x <> "" && not ((x.[0] >= 'a' && x.[0] <= 'z') || x.[0] = '_'))
+      || List.mem x
+           [ "fst"; "snd"; "not"; "ignore"; "min"; "max"; "abs"; "succ";
+             "pred"; "compare"; "string_of_int"; "string_of_bool" ]
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pass A: per-file helper discovery.                                  *)
+
+type param_key = PLabel of string | PIndex of int
+
+type touch_spec = { t_param : param_key; t_write : bool }
+
+type declare_spec = {
+  d_obj : param_key;
+  d_cb : param_key option;
+  d_write : bool;
+}
+
+type helpers = {
+  touch_helpers : (string, touch_spec list) Hashtbl.t;
+  declare_helpers : (string, declare_spec) Hashtbl.t;
+  registering : SSet.t ref;  (** names whose body reaches a registration *)
+  touching : SSet.t ref;  (** names whose body reaches the runtime *)
+}
+
+let named_functions str =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun it vb ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt; _ } ->
+              let params, body = fun_params vb.pvb_expr in
+              if params <> [] then acc := (txt, params, body) :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  List.iter (it.structure_item it) str;
+  !acc
+
+(* The key under which an application site will pass this parameter:
+   its label, or its index among the unlabelled parameters. *)
+let param_keys params =
+  let idx = ref (-1) in
+  List.map
+    (fun (lbl, pat) ->
+      match lbl with
+      | Asttypes.Labelled l | Asttypes.Optional l -> (PLabel l, pat_vars pat)
+      | Asttypes.Nolabel ->
+          incr idx;
+          (PIndex !idx, pat_vars pat))
+    params
+
+let arg_for args = function
+  | PLabel l ->
+      List.assoc_opt (Asttypes.Labelled l) args
+  | PIndex k ->
+      let unlabelled =
+        List.filter_map
+          (fun (lbl, a) ->
+            match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+          args
+      in
+      List.nth_opt unlabelled k
+
+let discover str =
+  let fns = named_functions str in
+  let h =
+    {
+      touch_helpers = Hashtbl.create 8;
+      declare_helpers = Hashtbl.create 8;
+      registering = ref SSet.empty;
+      touching = ref SSet.empty;
+    }
+  in
+  (* Touch helpers: a parameter whose pattern binds every root of a
+     direct [Runtime.touch ~obj:..] in the body carries the handle. *)
+  List.iter
+    (fun (name, params, body) ->
+      let keys = param_keys params in
+      let specs = ref [] in
+      iter_exprs
+        (fun e ->
+          match e.pexp_desc with
+          | Pexp_apply (f, args) -> begin
+              match path_of f with
+              | Some p when is_runtime "touch" p -> begin
+                  match arg_for args (PLabel "obj") with
+                  | None -> ()
+                  | Some obj ->
+                      let r = roots obj in
+                      let write =
+                        match arg_for args (PLabel "write") with
+                        | Some w -> Option.value (bool_lit w) ~default:true
+                        | None -> true
+                      in
+                      List.iter
+                        (fun (key, vars) ->
+                          if (not (SSet.is_empty r)) && SSet.subset r vars then
+                            specs := { t_param = key; t_write = write } :: !specs)
+                        keys
+                end
+              | _ -> ()
+            end
+          | _ -> ())
+        body;
+      if !specs <> [] then Hashtbl.replace h.touch_helpers name !specs)
+    fns;
+  (* Declare helpers: the body is one [atomic_access] forwarding an
+     [~obj] parameter, with a literal [~write] (the [reads]/[writes]
+     wrappers of Slx_base_objects). *)
+  List.iter
+    (fun (name, params, body) ->
+      let keys = param_keys params in
+      match (unwrap body).pexp_desc with
+      | Pexp_apply (f, args) -> begin
+          match path_of f with
+          | Some p when is_runtime "atomic_access" p -> begin
+              let param_of e =
+                match (unwrap e).pexp_desc with
+                | Pexp_ident { txt = Longident.Lident x; _ } ->
+                    List.find_map
+                      (fun (key, vars) ->
+                        if SSet.mem x vars then Some key else None)
+                      keys
+                | _ -> None
+              in
+              match Option.bind (arg_for args (PLabel "obj")) param_of with
+              | None -> ()
+              | Some d_obj ->
+                  let d_write =
+                    match arg_for args (PLabel "write") with
+                    | Some w -> Option.value (bool_lit w) ~default:true
+                    | None -> true
+                  in
+                  let d_cb =
+                    List.find_map
+                      (fun (lbl, a) ->
+                        match lbl with
+                        | Asttypes.Nolabel -> param_of a
+                        | _ -> None)
+                      args
+                  in
+                  Hashtbl.replace h.declare_helpers name { d_obj; d_cb; d_write }
+            end
+          | _ -> ()
+        end
+      | _ -> ())
+    fns;
+  (* Registration and runtime-reaching closures, to a fixpoint over
+     the file's named functions. *)
+  let reaches body pred locals =
+    exists_expr
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> begin
+            match Longident.flatten txt with
+            | exception _ -> false
+            | [ x ] when SSet.mem x locals -> true
+            | p -> pred p
+          end
+        | _ -> false)
+      body
+  in
+  let fix pred =
+    let set = ref SSet.empty in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (name, _, body) ->
+          if (not (SSet.mem name !set)) && reaches body pred !set then begin
+            set := SSet.add name !set;
+            changed := true
+          end)
+        fns
+    done;
+    !set
+  in
+  h.registering := fix is_register_path;
+  h.touching :=
+    fix (fun p ->
+        is_runtime "touch" p || is_runtime "atomic_access" p
+        || is_runtime "atomic" p
+        ||
+        match p with
+        | [ x ] ->
+            Hashtbl.mem h.touch_helpers x || Hashtbl.mem h.declare_helpers x
+        | _ -> false);
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Pass B: the walker.                                                 *)
+
+type app_kind =
+  | Declare of expression option * bool * expression option
+      (** obj, write, callback *)
+  | Opaque_declare of expression option
+  | Touches of (expression * bool) list  (** (obj expr, write) *)
+  | Plain
+
+type decl_ctx = {
+  opaque : bool;
+  map : (string * bool) list;  (** root -> write declared *)
+  mutable touched : SSet.t;
+  mutable unknown : bool;  (** an un-analyzable application was seen *)
+}
+
+let check ~file ~source str =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let snippet_at line =
+    if line >= 1 && line <= Array.length lines then lines.(line - 1) else ""
+  in
+  let findings = ref [] in
+  let report ~rule ?(severity = Finding.Error) ~loc message =
+    let p = loc.Location.loc_start in
+    let line = p.Lexing.pos_lnum and col = p.Lexing.pos_cnum - p.Lexing.pos_bol in
+    findings :=
+      Finding.v ~rule ~severity ~file ~line ~col ~snippet:(snippet_at line)
+        message
+      :: !findings
+  in
+  let h = discover str in
+  let contains_register e =
+    exists_expr
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> begin
+            match Longident.flatten txt with
+            | exception _ -> false
+            | [ x ] when SSet.mem x !(h.registering) -> true
+            | p -> is_register_path p
+          end
+        | _ -> false)
+      e
+  in
+  let contains_interaction e =
+    exists_expr
+      (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; _ } -> begin
+            match Longident.flatten txt with
+            | exception _ -> false
+            | [ x ] ->
+                SSet.mem x !(h.touching)
+                || Hashtbl.mem h.touch_helpers x
+                || Hashtbl.mem h.declare_helpers x
+            | p ->
+                is_runtime "touch" p || is_runtime "atomic_access" p
+                || is_runtime "atomic" p
+          end
+        | _ -> false)
+      e
+  in
+  let classify f args =
+    match path_of f with
+    | Some p when is_runtime "atomic_access" p ->
+        let cb =
+          List.filter_map
+            (fun (lbl, a) ->
+              match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+            args
+        in
+        Declare
+          ( arg_for args (PLabel "obj"),
+            (match arg_for args (PLabel "write") with
+            | Some w -> Option.value (bool_lit w) ~default:true
+            | None -> true),
+            match List.rev cb with c :: _ -> Some c | [] -> None )
+    | Some p when is_runtime "atomic" p ->
+        Opaque_declare
+          (List.find_map
+             (fun (lbl, a) ->
+               match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+             args)
+    | Some p when is_runtime "touch" p -> begin
+        match arg_for args (PLabel "obj") with
+        | None -> Plain
+        | Some obj ->
+            let write =
+              match arg_for args (PLabel "write") with
+              | Some w -> Option.value (bool_lit w) ~default:true
+              | None -> true
+            in
+            Touches [ (obj, write) ]
+      end
+    | Some [ name ] when Hashtbl.mem h.declare_helpers name ->
+        let s = Hashtbl.find h.declare_helpers name in
+        Declare
+          ( arg_for args s.d_obj,
+            s.d_write,
+            Option.bind s.d_cb (fun k -> arg_for args k) )
+    | Some [ name ] when Hashtbl.mem h.touch_helpers name ->
+        Touches
+          (List.filter_map
+             (fun s ->
+               Option.map (fun a -> (a, s.t_write))
+                 (arg_for args s.t_param))
+             (Hashtbl.find h.touch_helpers name))
+    | _ -> Plain
+  in
+  (* Mutable walker state, saved and restored around sub-walks. *)
+  let fun_depth = ref 0 in
+  let registered_scope = ref false in
+  let interacting_scope = ref false in
+  let local_bound = ref SSet.empty in
+  let cb_bound = ref SSet.empty in
+  let ctx : decl_ctx option ref = ref None in
+  let handled_creations = Hashtbl.create 8 in
+  let it = ref Ast_iterator.default_iterator in
+  let walk e = !it.expr !it e in
+  (* The escape analysis at a [let x = <creation>] site.  [scope] is
+     where captures of [x] can live. *)
+  let escape_check vb scope_exprs =
+    match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt = x; _ } -> begin
+        let rhs = unwrap vb.pvb_expr in
+        match rhs.pexp_desc with
+        | Pexp_apply (f, _) -> begin
+            match Option.bind (path_of f) creation_name with
+            | None -> ()
+            | Some what ->
+                Hashtbl.replace handled_creations rhs.pexp_loc ();
+                if not !registered_scope then begin
+                  let captors =
+                    List.concat_map sub_lambdas scope_exprs
+                    |> List.filter (mentions x)
+                  in
+                  if captors = [] then ()  (* function-local scratch *)
+                  else if !fun_depth = 0 then
+                    report ~rule:"escape-global-mutable" ~loc:rhs.pexp_loc
+                      (Printf.sprintf
+                         "module-level %s bound to %S is captured by a \
+                          function: one mutable cell shared by every \
+                          instance and every replay"
+                         what x)
+                  else if List.exists contains_interaction captors then
+                    report ~rule:"escape-unregistered-state" ~loc:rhs.pexp_loc
+                      (Printf.sprintf
+                         "%s bound to %S is captured by a runtime-\
+                          interacting closure with no \
+                          Runtime.register_object in scope: invisible to \
+                          fingerprints and the sanitizer shadow"
+                         what x)
+                  (* else: scheduler-side closure state (drivers,
+                     adversaries) — replay re-decides, not re-draws *)
+                end
+          end
+        | _ -> ()
+      end
+    | _ -> ()
+  in
+  let creation_fallback e =
+    match e.pexp_desc with
+    | Pexp_apply (f, _) -> begin
+        match Option.bind (path_of f) creation_name with
+        | Some what
+          when !fun_depth = 0
+               && (not (Hashtbl.mem handled_creations e.pexp_loc))
+               && not !registered_scope ->
+            report ~rule:"escape-global-mutable" ~loc:e.pexp_loc
+              (Printf.sprintf
+                 "module-level %s outside any let-binding this lint can \
+                  track: module state is shared by every instance and \
+                  every replay"
+                 what)
+        | _ -> ()
+      end
+    | _ -> ()
+  in
+  let mutation_check f args loc =
+    let is_mut =
+      match path_of f with Some p -> mutation_name p | None -> false
+    in
+    if is_mut && !ctx = None && !interacting_scope then
+      match
+        List.find_map
+          (fun (lbl, a) ->
+            match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+          args
+      with
+      | None -> ()
+      | Some target ->
+          let r = SSet.diff (roots target) !local_bound in
+          if not (SSet.is_empty r) then
+            report ~rule:"escape-naked-mutation" ~severity:Finding.Warn ~loc
+              (Printf.sprintf
+                 "mutation of %s outside any atomic/atomic_access callback \
+                  in runtime-interacting code: invisible to declared \
+                  footprints"
+                 (String.concat ", " (SSet.elements r)))
+  in
+  let touch_check obj write loc =
+    match !ctx with
+    | None | Some { opaque = true; _ } -> ()
+    | Some c ->
+        let r = SSet.diff (roots obj) !cb_bound in
+        c.touched <- SSet.union c.touched r;
+        SSet.iter
+          (fun x ->
+            match List.assoc_opt x c.map with
+            | None ->
+                report ~rule:"fp-undeclared-handle" ~loc
+                  (Printf.sprintf
+                     "handle %S is touched under a declaration that only \
+                      mentions {%s}: the static twin of Undeclared_touch"
+                     x
+                     (String.concat ", " (List.map fst c.map)))
+            | Some declared_write ->
+                if write && not declared_write then
+                  report ~rule:"fp-write-under-read" ~loc
+                    (Printf.sprintf
+                       "handle %S is written under a read-only declaration: \
+                        POR would commute steps that do not commute"
+                       x))
+          r
+  in
+  (* Walk a declare's callback under a new footprint context. *)
+  let with_ctx new_ctx cb =
+    let saved_ctx = !ctx and saved_cb = !cb_bound in
+    ctx := Some new_ctx;
+    cb_bound := SSet.empty;
+    walk cb;
+    ctx := saved_ctx;
+    cb_bound := saved_cb
+  in
+  let declare_check obj write callback loc =
+    let declared = match obj with Some o -> roots o | None -> SSet.empty in
+    (* A nested declaration must stay inside the pending footprint
+       (the static twin of Undeclared_nesting). *)
+    (match !ctx with
+    | Some c when not c.opaque ->
+        let fresh =
+          SSet.filter (fun x -> not (List.mem_assoc x c.map))
+            (SSet.diff declared !cb_bound)
+        in
+        SSet.iter
+          (fun x ->
+            report ~rule:"fp-undeclared-handle" ~loc
+              (Printf.sprintf
+                 "nested atomic declaration mentions handle %S outside the \
+                  pending footprint {%s}: the static twin of \
+                  Undeclared_nesting"
+                 x
+                 (String.concat ", " (List.map fst c.map))))
+          fresh
+    | _ -> ());
+    let outer_map, outer_opaque =
+      match !ctx with Some c -> (c.map, c.opaque) | None -> ([], false)
+    in
+    match callback with
+    | Some cb when (match (unwrap cb).pexp_desc with
+                   | Pexp_fun _ | Pexp_function _ -> true
+                   | _ -> false) ->
+        let new_roots =
+          SSet.filter (fun x -> not (List.mem_assoc x outer_map)) declared
+        in
+        let c =
+          {
+            opaque = outer_opaque;
+            map =
+              SSet.fold (fun x acc -> (x, write) :: acc) declared outer_map;
+            touched = SSet.empty;
+            unknown = false;
+          }
+        in
+        with_ctx c cb;
+        let untouched = SSet.diff new_roots c.touched in
+        if (not c.opaque) && (not c.unknown) && not (SSet.is_empty untouched)
+        then
+          report ~rule:"fp-unused-declaration" ~severity:Finding.Warn ~loc
+            (Printf.sprintf
+               "declared handle%s {%s} never touched in this closed step \
+                body: the static twin of the audit's Never_touched lint"
+               (if SSet.cardinal untouched > 1 then "s" else "")
+               (String.concat ", " (SSet.elements untouched)))
+    | Some cb -> walk cb  (* opaque callback value: analyzed elsewhere *)
+    | None -> ()
+  in
+  let expr_override _it e =
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> begin
+        match Longident.flatten txt with
+        | exception _ -> ()
+        | [ ("==" | "!=") as op ] ->
+            report ~rule:"det-physical-equality" ~loc:e.pexp_loc
+              (Printf.sprintf
+                 "physical equality (%s) depends on sharing, which replay \
+                  does not preserve; use structural equality or a stable \
+                  identity"
+                 op)
+        | p when det_banned p ->
+            report ~rule:"det-banned-call" ~loc:e.pexp_loc
+              (Printf.sprintf
+                 "%s can differ between a run and its replay: fingerprints, \
+                  lex-least witnesses and stored-verdict re-validation all \
+                  assume determinism"
+                 (String.concat "." p))
+        | _ -> ()
+      end
+    | Pexp_fun _ | Pexp_function _ ->
+        let saved =
+          (!fun_depth, !registered_scope, !interacting_scope, !local_bound,
+           !cb_bound)
+        in
+        incr fun_depth;
+        if not !registered_scope then
+          registered_scope := contains_register e;
+        if not !interacting_scope then
+          interacting_scope := contains_interaction e;
+        (match e.pexp_desc with
+        | Pexp_fun (_, _, pat, _) ->
+            local_bound := SSet.union !local_bound (pat_vars pat);
+            cb_bound := SSet.union !cb_bound (pat_vars pat)
+        | _ -> ());
+        Ast_iterator.default_iterator.expr !it e;
+        let d, r, i, l, c = saved in
+        fun_depth := d;
+        registered_scope := r;
+        interacting_scope := i;
+        local_bound := l;
+        cb_bound := c
+    | Pexp_let (_, vbs, cont) ->
+        List.iter (fun vb -> escape_check vb (cont :: List.map (fun v -> v.pvb_expr) (List.filter (fun v -> v != vb) vbs))) vbs;
+        List.iter (fun vb -> walk vb.pvb_expr) vbs;
+        let saved = (!local_bound, !cb_bound) in
+        let vars =
+          List.fold_left
+            (fun acc vb -> SSet.union acc (pat_vars vb.pvb_pat))
+            SSet.empty vbs
+        in
+        local_bound := SSet.union !local_bound vars;
+        cb_bound := SSet.union !cb_bound vars;
+        walk cont;
+        local_bound := fst saved;
+        cb_bound := snd saved
+    | Pexp_apply (f, args) -> begin
+        creation_fallback e;
+        mutation_check f args e.pexp_loc;
+        (match !ctx with
+        | Some c when not c.opaque -> begin
+            match classify f args with
+            | Plain -> begin
+                match path_of f with
+                | Some p when pure_fn p || mutation_name p -> ()
+                | Some _ | None -> c.unknown <- true
+              end
+            | _ -> ()
+          end
+        | _ -> ());
+        match classify f args with
+        | Declare (obj, write, callback) ->
+            walk f;
+            Option.iter walk obj;
+            List.iter
+              (fun (lbl, a) ->
+                let is_cb =
+                  match callback with Some cb -> a == cb | None -> false
+                in
+                let is_obj =
+                  match obj with Some o -> a == o | None -> false
+                in
+                if (not is_cb) && not is_obj then
+                  match lbl with _ -> walk a)
+              args;
+            declare_check obj write callback e.pexp_loc
+        | Opaque_declare callback -> begin
+            walk f;
+            match callback with
+            | Some cb
+              when (match (unwrap cb).pexp_desc with
+                   | Pexp_fun _ | Pexp_function _ -> true
+                   | _ -> false) ->
+                with_ctx
+                  { opaque = true; map = []; touched = SSet.empty;
+                    unknown = false }
+                  cb
+            | Some cb -> walk cb
+            | None -> ()
+          end
+        | Touches objs ->
+            List.iter
+              (fun (obj, write) -> touch_check obj write e.pexp_loc)
+              objs;
+            Ast_iterator.default_iterator.expr !it e
+        | Plain -> Ast_iterator.default_iterator.expr !it e
+      end
+    | Pexp_setfield (b, _, _) ->
+        (if !ctx = None && !interacting_scope then
+           let r = SSet.diff (roots b) !local_bound in
+           if not (SSet.is_empty r) then
+             report ~rule:"escape-naked-mutation" ~severity:Finding.Warn
+               ~loc:e.pexp_loc
+               (Printf.sprintf
+                  "field mutation of %s outside any atomic/atomic_access \
+                   callback in runtime-interacting code: invisible to \
+                   declared footprints"
+                  (String.concat ", " (SSet.elements r))));
+        Ast_iterator.default_iterator.expr !it e
+    | _ -> Ast_iterator.default_iterator.expr !it e
+  in
+  it := { Ast_iterator.default_iterator with expr = expr_override };
+  (* Top level: [Pstr_value] bindings get the escape analysis with the
+     whole structure as the capture scope (conservative about textual
+     order, precise enough in practice). *)
+  let all_toplevel_exprs =
+    List.filter_map
+      (fun si ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) -> Some (List.map (fun vb -> vb.pvb_expr) vbs)
+        | _ -> None)
+      str
+    |> List.concat
+  in
+  List.iter
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              escape_check vb
+                (List.filter (fun e -> e != vb.pvb_expr) all_toplevel_exprs))
+            vbs;
+          List.iter (fun vb -> walk vb.pvb_expr) vbs
+      | _ -> !it.structure_item !it si)
+    str;
+  List.sort_uniq Finding.compare !findings

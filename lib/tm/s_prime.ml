@@ -12,7 +12,7 @@ let triggers g =
     List.for_all
       (fun t1 ->
         List.for_all
-          (fun t2 -> t1 == t2 || Transaction.concurrent t1 t2)
+          (fun t2 -> Transaction.same t1 t2 || Transaction.concurrent t1 t2)
           g)
       g
   in
@@ -23,7 +23,7 @@ let triggers g =
         let earlier_starts =
           List.filter
             (fun t' ->
-              t' != t
+              (not (Transaction.same t' t))
               &&
               match t'.Transaction.start_res with
               | Some s -> s < tc

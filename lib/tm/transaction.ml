@@ -114,6 +114,8 @@ let of_history h =
     (fun t1 t2 -> Int.compare t1.start_inv t2.start_inv)
     (!finished_txns @ open_txns)
 
+let same t1 t2 = Proc.equal t1.proc t2.proc && t1.index = t2.index
+
 let precedes t1 t2 =
   match t1.finished with None -> false | Some f -> f < t2.start_inv
 

@@ -33,6 +33,11 @@ val of_history : Tm_type.history -> t list
     well-formed; operations outside any transaction (e.g. a [read]
     before any [start]) are ignored. *)
 
+val same : t -> t -> bool
+(** Stable identity: same process and same per-process index.  Use
+    this instead of physical equality — transactions are rebuilt from
+    the history on every check, so sharing is never preserved. *)
+
 val precedes : t -> t -> bool
 (** Real-time order: [t1] received its final [C]/[A] before [t2]
     invoked [start]. *)

@@ -1,0 +1,5 @@
+(* det-physical-equality: == / != depend on sharing, which replay does
+   not preserve.  Parse-only lint fixture; never compiled. *)
+let fast_eq a b = a == b
+
+let distinct a b = a != b

@@ -1,0 +1,6 @@
+(* det-banned-call: the global Random functions draw from hidden
+   mutable state a replay does not restore.  Parse-only lint fixture;
+   never compiled. *)
+let pick xs = List.nth xs (Random.int (List.length xs))
+
+let key v = Hashtbl.hash v

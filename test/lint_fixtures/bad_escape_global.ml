@@ -1,0 +1,8 @@
+(* escape-global-mutable: module-level mutable state captured by a
+   function — one cell shared by every instance and every replay.
+   Parse-only lint fixture; never compiled. *)
+let total = ref 0
+
+let step () =
+  total := !total + 1;
+  Runtime.touch ~obj:0 ~write:true

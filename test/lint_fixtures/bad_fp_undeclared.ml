@@ -1,0 +1,10 @@
+(* fp-undeclared-handle: a handle reaches a touch under a declaration
+   that never mentions it.  Parse-only lint fixture; never compiled. *)
+let load (r, id) =
+  Runtime.touch ~obj:id ~write:false;
+  !r
+
+let step a b =
+  Runtime.atomic_access ~obj:(snd a) ~write:false (fun () ->
+      ignore (load a);
+      ignore (load b))

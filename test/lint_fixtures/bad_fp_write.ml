@@ -1,0 +1,8 @@
+(* fp-write-under-read: a write-touch under a read-only declaration.
+   Parse-only lint fixture; never compiled. *)
+let store (r, id) v =
+  Runtime.touch ~obj:id ~write:true;
+  r := v
+
+let step a v =
+  Runtime.atomic_access ~obj:(snd a) ~write:false (fun () -> store a v)

@@ -1,0 +1,8 @@
+(* Negative twin for the determinism family: explicitly-seeded
+   Random.State is replay-deterministic; structural equality is fine.
+   Parse-only lint fixture; never compiled. *)
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let seeded seed = Random.State.make [| seed |]
+
+let same a b = a = b && a <> []

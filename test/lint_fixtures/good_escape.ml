@@ -1,0 +1,24 @@
+(* Negative twin for the escape family: registered state, function-
+   local scratch, and scheduler-side (non-runtime-interacting) closure
+   state are all allowed.  Parse-only lint fixture; never compiled. *)
+let make init =
+  let r = ref init in
+  let id = Runtime.register_object (fun () -> Runtime.hash_value !r) in
+  (r, id)
+
+let dedup xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let driver () =
+  let cursor = ref 0 in
+  fun _view ->
+    incr cursor;
+    !cursor

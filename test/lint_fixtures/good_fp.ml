@@ -1,0 +1,16 @@
+(* Negative twin for the footprint family: every touched handle is
+   rooted in the declaration, writes declared as writes, reads under a
+   write declaration allowed.  Parse-only lint fixture; never
+   compiled. *)
+let load (r, id) =
+  Runtime.touch ~obj:id ~write:false;
+  !r
+
+let store (r, id) v =
+  Runtime.touch ~obj:id ~write:true;
+  r := v
+
+let step a b v =
+  Runtime.atomic_access ~obj:(snd a, snd b) ~write:true (fun () ->
+      store a (v + load b);
+      ignore (load a))

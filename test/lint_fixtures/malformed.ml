@@ -1,0 +1,3 @@
+(* A source that does not parse: the lint must produce a structured
+   parse-error finding, not an exception.  Parse-only lint fixture. *)
+let step = (fun x ->

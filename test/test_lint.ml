@@ -1,0 +1,307 @@
+(* The static soundness linter: rule families over parse-only fixture
+   sources, waiver round-trips, the malformed-source path, the dogfood
+   sweep of the shipped tree, the static-vs-dynamic E26 pair, and the
+   normalized stats CLI error path. *)
+
+open Support
+module Lint = Slx_lint.Lint
+module Finding = Slx_lint.Finding
+module Waivers = Slx_lint.Waivers
+module Audit = Slx_analysis.Audit
+module Registry = Slx_analysis.Audit_registry
+
+(* Test fixtures live under [lint_fixtures/]; the repo tree itself is
+   reachable as [..] from the test's working directory. *)
+let fixture_root = "lint_fixtures"
+
+let repo_root = ".."
+
+let lint_one ?waiver_file ?today ?strict_waivers file =
+  Lint.run ~root:fixture_root ~paths:[ file ] ?waiver_file ?today
+    ?strict_waivers ()
+
+let rules_of rp =
+  List.sort_uniq String.compare
+    (List.map (fun f -> f.Finding.rule) rp.Lint.findings)
+
+let has_rule rule rp =
+  List.exists (fun f -> f.Finding.rule = rule) rp.Lint.findings
+
+let contains ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec at i = i + lsub <= ls && (String.sub s i lsub = sub || at (i + 1)) in
+  lsub = 0 || at 0
+
+(* ------------------------------------------------------------------ *)
+(* Rule families: one positive and one negative per family.            *)
+
+let test_escape_family () =
+  let global = lint_one "bad_escape_global.ml" in
+  check_bool "module-level capture flagged" true
+    (has_rule "escape-global-mutable" global);
+  check_bool "naked mutation of it flagged too" true
+    (has_rule "escape-naked-mutation" global);
+  let closure = lint_one "bad_escape_closure.ml" in
+  Alcotest.(check (list string))
+    "unregistered captured ref flagged, nothing else"
+    [ "escape-unregistered-state" ] (rules_of closure);
+  let good = lint_one "good_escape.ml" in
+  Alcotest.(check (list string))
+    "registered state, local scratch and driver state allowed" []
+    (rules_of good)
+
+let test_determinism_family () =
+  let random = lint_one "bad_det_random.ml" in
+  Alcotest.(check (list string))
+    "Random.int and Hashtbl.hash flagged" [ "det-banned-call" ]
+    (rules_of random);
+  check_int "both call sites" 2 (List.length random.Lint.findings);
+  let physeq = lint_one "bad_det_physeq.ml" in
+  Alcotest.(check (list string))
+    "== and != flagged" [ "det-physical-equality" ] (rules_of physeq);
+  let good = lint_one "good_det.ml" in
+  Alcotest.(check (list string))
+    "seeded Random.State and structural equality allowed" []
+    (rules_of good)
+
+let test_footprint_family () =
+  let undeclared = lint_one "bad_fp_undeclared.ml" in
+  Alcotest.(check (list string))
+    "touch outside the declaration flagged" [ "fp-undeclared-handle" ]
+    (rules_of undeclared);
+  let wrote = lint_one "bad_fp_write.ml" in
+  Alcotest.(check (list string))
+    "write under read declaration flagged" [ "fp-write-under-read" ]
+    (rules_of wrote);
+  let good = lint_one "good_fp.ml" in
+  Alcotest.(check (list string))
+    "declared touches through helpers allowed" [] (rules_of good)
+
+let test_malformed_source_is_a_finding () =
+  let rp = lint_one "malformed.ml" in
+  Alcotest.(check (list string))
+    "a structured parse-error finding, not an exception" [ "parse-error" ]
+    (rules_of rp);
+  check_bool "the report gates" false (Lint.clean rp)
+
+(* ------------------------------------------------------------------ *)
+(* Waivers.                                                            *)
+
+let test_waiver_parse_round_trip () =
+  let text =
+    "# comment\n\
+     \n\
+     rule=det-banned-call file=a.ml match=\"Random.int x\" \
+     expires=2031-12-31 reason=\"seeded later\"\n\
+     rule=parse-error file=b.ml reason=vendored\n"
+  in
+  match Waivers.parse text with
+  | Error (msg, line) -> Alcotest.failf "parse failed at %d: %s" line msg
+  | Ok [ a; b ] ->
+      Alcotest.(check string) "rule" "det-banned-call" a.Waivers.w_rule;
+      Alcotest.(check (option string))
+        "quoted match survives spaces" (Some "Random.int x") a.Waivers.w_match;
+      Alcotest.(check (option string))
+        "expiry" (Some "2031-12-31") a.Waivers.w_expires;
+      check_int "line numbers skip comments and blanks" 3 a.Waivers.w_line;
+      Alcotest.(check (option string)) "no expiry" None b.Waivers.w_expires;
+      check_bool "dated entry live before its date" false
+        (Waivers.expired ~today:"2031-12-31" a);
+      check_bool "dated entry dead after its date" true
+        (Waivers.expired ~today:"2032-01-01" a);
+      check_bool "undated entry never expires" false
+        (Waivers.expired ~today:"9999-12-31" b)
+  | Ok es -> Alcotest.failf "expected 2 entries, got %d" (List.length es)
+
+let test_waiver_rejects_malformed () =
+  let bad checks text =
+    match Waivers.parse text with
+    | Ok _ -> Alcotest.failf "accepted malformed waiver: %s" text
+    | Error (msg, _) ->
+        check_bool
+          (Printf.sprintf "error %S mentions %S" msg checks)
+          true
+          (contains ~sub:checks msg)
+  in
+  bad "missing rule=" "file=a.ml reason=x\n";
+  bad "reason" "rule=parse-error file=a.ml\n";
+  bad "unknown rule" "rule=not-a-rule file=a.ml reason=x\n";
+  bad "YYYY-MM-DD" "rule=parse-error file=a.ml expires=soon reason=x\n";
+  bad "unknown key" "rule=parse-error file=a.ml reason=x color=red\n"
+
+let temp_waivers contents =
+  let path = Filename.temp_file "slx_lint_waivers" ".conf" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let test_waiver_suppresses_and_gates () =
+  (* A matching waiver suppresses the finding; an expired one turns
+     into an error; an unused one gates only under --ci strictness. *)
+  let wf =
+    temp_waivers
+      "rule=det-physical-equality file=bad_det_physeq.ml expires=2031-12-31 \
+       reason=\"legacy identity check\"\n\
+       rule=det-banned-call file=never_matches.ml reason=stale\n"
+  in
+  let rp = lint_one ~waiver_file:wf ~today:"2026-08-08" "bad_det_physeq.ml" in
+  check_int "both physeq findings suppressed" 2 (List.length rp.Lint.waived);
+  Alcotest.(check (list string))
+    "only the stale-entry note remains" [ "waiver-unused" ] (rules_of rp);
+  check_bool "unused waiver does not gate a human run" true (Lint.clean rp);
+  let strict =
+    lint_one ~waiver_file:wf ~today:"2026-08-08" ~strict_waivers:true
+      "bad_det_physeq.ml"
+  in
+  check_bool "unused waiver gates a --ci run" false (Lint.clean strict);
+  let past = lint_one ~waiver_file:wf ~today:"2032-01-01" "bad_det_physeq.ml" in
+  check_bool "expired waiver stops suppressing" true
+    (has_rule "det-physical-equality" past);
+  check_bool "and reports its own expiry" true (has_rule "waiver-expired" past);
+  Sys.remove wf
+
+let test_waiver_file_malformed_is_a_finding () =
+  let wf = temp_waivers "rule=not-a-rule file=a.ml reason=x\n" in
+  let rp = lint_one ~waiver_file:wf "good_fp.ml" in
+  Alcotest.(check (list string))
+    "malformed waiver file is a structured finding" [ "waiver-malformed" ]
+    (rules_of rp);
+  check_bool "and it gates" false (Lint.clean rp);
+  Sys.remove wf
+
+(* ------------------------------------------------------------------ *)
+(* Dogfood: the shipped tree is clean under the shipped waiver file,   *)
+(* and the waiver count is exact — a new finding or a stale entry      *)
+(* both fail here before CI sees them.                                 *)
+
+let test_shipped_tree_clean_with_exact_waivers () =
+  let rp =
+    Lint.run ~root:repo_root ~waiver_file:"lint-waivers.conf"
+      ~today:"2026-08-08" ~strict_waivers:true ()
+  in
+  Alcotest.(check (list string))
+    "no unwaived findings on the shipped tree" []
+    (List.map (Format.asprintf "%a" Finding.pp) rp.Lint.findings);
+  check_int "exactly the six shipped waivers in use" 6
+    (List.length rp.Lint.waived);
+  check_bool "sweep actually covered the tree" true
+    (List.length rp.Lint.files > 40)
+
+(* ------------------------------------------------------------------ *)
+(* E26: the deep leak is invisible to bounded dynamic exploration and  *)
+(* caught statically.                                                  *)
+
+let test_deep_leak_static_vs_dynamic () =
+  let case =
+    match Registry.select ~name:"fixture-deep-leak" (Registry.fixture_cases ())
+    with
+    | [ c ] -> c
+    | _ -> Alcotest.fail "fixture-deep-leak not registered exactly once"
+  in
+  let dyn = Audit.run_case ~bound:`Runtest case in
+  check_bool "sanitized exploration at the audit depth reports clean" true
+    (Audit.case_clean dyn);
+  check_bool "and it did sweep runs" true (dyn.Audit.cr_runs > 0);
+  let static =
+    Lint.run ~root:repo_root ~paths:[ "lib/analysis/fixtures.ml" ] ()
+  in
+  check_bool "the static lint flags the deep leak site" true
+    (List.exists
+       (fun f ->
+         f.Finding.rule = "fp-undeclared-handle"
+         && contains ~sub:"store b (v + k)" f.Finding.snippet)
+       static.Lint.findings)
+
+(* ------------------------------------------------------------------ *)
+(* The CLI: exit codes per fixture, and the normalized stats errors.   *)
+
+let slx args = Sys.command (Printf.sprintf "../bin/slx_cli.exe %s" args)
+
+let test_cli_exit_codes () =
+  List.iter
+    (fun f ->
+      check_int
+        (Printf.sprintf "slx lint exits 1 on %s" f)
+        1
+        (slx
+           (Printf.sprintf "lint --root %s %s >/dev/null 2>&1" fixture_root f)))
+    [
+      "bad_escape_global.ml"; "bad_escape_closure.ml"; "bad_det_random.ml";
+      "bad_det_physeq.ml"; "bad_fp_undeclared.ml"; "bad_fp_write.ml";
+      "malformed.ml";
+    ];
+  List.iter
+    (fun f ->
+      check_int
+        (Printf.sprintf "slx lint exits 0 on %s" f)
+        0
+        (slx
+           (Printf.sprintf "lint --root %s %s >/dev/null 2>&1" fixture_root f)))
+    [ "good_escape.ml"; "good_det.ml"; "good_fp.ml" ]
+
+let test_cli_ci_clean_on_shipped_tree () =
+  check_int "slx lint --ci is clean on the shipped tree" 0
+    (slx (Printf.sprintf "lint --ci --root %s >/dev/null 2>&1" repo_root))
+
+let test_stats_errors_normalized () =
+  let run args =
+    let err = Filename.temp_file "slx_stats" ".err" in
+    let rc = slx (Printf.sprintf "%s >/dev/null 2>%s" args err) in
+    let ic = open_in_bin err in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove err;
+    (rc, contents)
+  in
+  let check_path args =
+    let rc, stderr_out = run args in
+    check_int (args ^ " exits 2") 2 rc;
+    check_bool
+      (args ^ " reports through the structured error path")
+      true
+      (contains ~sub:"[slx] error:" stderr_out)
+  in
+  check_path "stats --store /nonexistent/dir/store.slx";
+  check_path "stats --trace /nonexistent/dir/trace.json";
+  check_path "stats"
+
+let suites =
+  [
+    ( "lint.rules",
+      [
+        quick "escape family: positives and negative" test_escape_family;
+        quick "determinism family: positives and negative"
+          test_determinism_family;
+        quick "footprint family: positives and negative"
+          test_footprint_family;
+        quick "malformed source is a structured finding"
+          test_malformed_source_is_a_finding;
+      ] );
+    ( "lint.waivers",
+      [
+        quick "parse round-trip with quoting, dates and line numbers"
+          test_waiver_parse_round_trip;
+        quick "malformed entries rejected with the reason"
+          test_waiver_rejects_malformed;
+        quick "suppression, expiry and strict unused gating"
+          test_waiver_suppresses_and_gates;
+        quick "malformed waiver file is a structured finding"
+          test_waiver_file_malformed_is_a_finding;
+      ] );
+    ( "lint.dogfood",
+      [
+        quick "shipped tree clean with exactly the shipped waivers"
+          test_shipped_tree_clean_with_exact_waivers;
+        quick "deep leak: dynamically clean, statically caught (E26)"
+          test_deep_leak_static_vs_dynamic;
+      ] );
+    ( "lint.cli",
+      [
+        quick "exit codes across the fixture set" test_cli_exit_codes;
+        quick "lint --ci clean on the shipped tree"
+          test_cli_ci_clean_on_shipped_tree;
+        quick "stats errors share one structured path"
+          test_stats_errors_normalized;
+      ] );
+  ]
